@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Ablation: Gaussian-field generation back-end (exact dense Cholesky
+ * vs circulant-embedding FFT). Verifies the two produce statistically
+ * interchangeable variation maps — point variance and spatial
+ * correlation at several lags — and compares generation cost. The
+ * experiments use the FFT path; Cholesky is the ground truth it is
+ * validated against.
+ */
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "bench/common.hh"
+#include "solver/stats.hh"
+#include "varius/correlation.hh"
+#include "varius/field.hh"
+
+using namespace varsched;
+
+namespace
+{
+
+struct FieldStats
+{
+    double variance = 0.0;
+    double corrLag2 = 0.0;
+    double corrLag8 = 0.0;
+    double genMs = 0.0;
+};
+
+FieldStats
+measure(FieldMethod method, std::size_t n, int dies)
+{
+    Rng rng(31337);
+    Summary valSummary;
+    double s2 = 0.0, s8 = 0.0, v0 = 0.0;
+    std::size_t c2 = 0, c8 = 0, cv = 0;
+    const auto start = std::chrono::steady_clock::now();
+    for (int d = 0; d < dies; ++d) {
+        const auto f = generateField(n, 0.5, rng, method);
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = 0; j < n; ++j) {
+                const double a = f.at(i, j);
+                v0 += a * a;
+                ++cv;
+                if (j + 2 < n) {
+                    s2 += a * f.at(i, j + 2);
+                    ++c2;
+                }
+                if (j + 8 < n) {
+                    s8 += a * f.at(i, j + 8);
+                    ++c8;
+                }
+            }
+        }
+    }
+    const auto end = std::chrono::steady_clock::now();
+
+    FieldStats out;
+    out.variance = v0 / static_cast<double>(cv);
+    out.corrLag2 = s2 / static_cast<double>(c2) / out.variance;
+    out.corrLag8 = s8 / static_cast<double>(c8) / out.variance;
+    out.genMs = std::chrono::duration<double, std::milli>(end - start)
+                    .count() /
+        dies;
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Ablation: Cholesky vs circulant-FFT field "
+                  "generation",
+                  "statistical equivalence check; not a paper figure");
+
+    const std::size_t n = 32; // Cholesky is O(n^6); keep it small
+    const int dies = static_cast<int>(envSize("VARSCHED_DIES", 24));
+    const double step = 1.0 / static_cast<double>(n - 1);
+
+    const auto chol = measure(FieldMethod::Cholesky, n, dies);
+    const auto fft = measure(FieldMethod::CirculantFFT, n, dies);
+
+    std::printf("[%zux%zu grid, %d dies per method]\n\n", n, n, dies);
+    std::printf("%-14s %10s %10s %10s %12s\n", "method", "variance",
+                "rho(2h)", "rho(8h)", "ms per die");
+    std::printf("%-14s %10.3f %10.3f %10.3f %12.3f\n", "Cholesky",
+                chol.variance, chol.corrLag2, chol.corrLag8,
+                chol.genMs);
+    std::printf("%-14s %10.3f %10.3f %10.3f %12.3f\n", "CirculantFFT",
+                fft.variance, fft.corrLag2, fft.corrLag8, fft.genMs);
+    std::printf("%-14s %10.3f %10.3f %10.3f\n", "theory", 1.0,
+                sphericalRho(2.0 * step, 0.5),
+                sphericalRho(8.0 * step, 0.5));
+    std::printf("\n(the FFT back-end also scales to the 1M-point maps "
+                "of the paper, which Cholesky cannot)\n");
+    return 0;
+}

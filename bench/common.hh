@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Shared helpers for the bench binaries that regenerate the paper's
+ * tables and figures. Each binary prints the same rows/series the
+ * paper reports, normalised the same way, so output can be compared
+ * against the figures directly. Batch sizes honour VARSCHED_DIES /
+ * VARSCHED_TRIALS.
+ */
+
+#ifndef VARSCHED_BENCH_COMMON_HH
+#define VARSCHED_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+
+namespace varsched::bench
+{
+
+/** Print a banner naming the experiment being regenerated. */
+inline void
+banner(const std::string &what, const std::string &paperSays)
+{
+    std::printf("=================================================="
+                "====================\n");
+    std::printf("%s\n", what.c_str());
+    std::printf("Paper reference: %s\n", paperSays.c_str());
+    std::printf("=================================================="
+                "====================\n");
+}
+
+/** Print the batch dimensions in use. */
+inline void
+describeBatch(const BatchConfig &batch)
+{
+    std::printf("[batch: %zu dies x %zu trials; override with "
+                "VARSCHED_DIES / VARSCHED_TRIALS]\n\n",
+                batch.numDies, batch.numTrials);
+}
+
+/** The thread counts the paper sweeps in the scheduling figures. */
+inline std::vector<std::size_t>
+threadSweep(bool includeTwo)
+{
+    if (includeTwo)
+        return {2, 4, 8, 16, 20};
+    return {4, 8, 16, 20};
+}
+
+} // namespace varsched::bench
+
+#endif // VARSCHED_BENCH_COMMON_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Scenario: a chip manufacturer's binning engineer. Manufacture a lot
+ * of dies, and for each die record what the paper's Table 3 profile
+ * would: per-core fmax and static power. Then answer the questions a
+ * binning/SKU process asks:
+ *
+ *  - How are per-die *chip* frequencies distributed if the chip must
+ *    clock at its slowest core (UniFreq), vs per-core clocking?
+ *  - How much frequency is recovered by per-core clocking (the
+ *    motivation for NUniFreq designs like the Quad-Core Opteron)?
+ *  - How wide is the leakage spread the power-delivery network must
+ *    be provisioned for?
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "chip/die.hh"
+#include "solver/stats.hh"
+
+using namespace varsched;
+
+int
+main()
+{
+    const std::size_t lotSize = 60;
+    DieParams params;
+
+    Summary uniFreq, meanFreq, bestFreq, uplift, staticSpread;
+    Histogram binHist(2.0e9, 4.0e9, 8);
+
+    const auto lot = manufactureBatch(params, lotSize, 20260706);
+    for (const auto &die : lot) {
+        double slowest = 1e300, fastest = 0.0, sum = 0.0;
+        double leakLo = 1e300, leakHi = 0.0;
+        for (std::size_t c = 0; c < die.numCores(); ++c) {
+            const double f = die.maxFreq(c);
+            slowest = std::min(slowest, f);
+            fastest = std::max(fastest, f);
+            sum += f;
+            const double leak = die.staticPowerAt(c, die.maxLevel());
+            leakLo = std::min(leakLo, leak);
+            leakHi = std::max(leakHi, leak);
+        }
+        const double mean = sum / static_cast<double>(die.numCores());
+        uniFreq.add(slowest);
+        meanFreq.add(mean);
+        bestFreq.add(fastest);
+        uplift.add(mean / slowest);
+        staticSpread.add(leakHi / leakLo);
+        binHist.add(slowest);
+    }
+
+    std::printf("Binning a lot of %zu dies (nominal design: 4 GHz at "
+                "1 V):\n\n",
+                lotSize);
+    std::printf("chip frequency if clocked at slowest core "
+                "(UniFreq):\n%s\n",
+                binHist.toTable("bin (Hz)").c_str());
+    std::printf("lot statistics:\n");
+    std::printf("  UniFreq chip clock:   mean %.2f GHz  (min %.2f, "
+                "max %.2f)\n",
+                uniFreq.mean() / 1e9, uniFreq.min() / 1e9,
+                uniFreq.max() / 1e9);
+    std::printf("  per-core mean fmax:   mean %.2f GHz\n",
+                meanFreq.mean() / 1e9);
+    std::printf("  fastest core:         mean %.2f GHz\n",
+                bestFreq.mean() / 1e9);
+    std::printf("  per-core clocking recovers %.1f%% average "
+                "frequency over UniFreq\n",
+                100.0 * (uplift.mean() - 1.0));
+    std::printf("  within-die static-power spread: %.2fx "
+                "(max/min core)\n",
+                staticSpread.mean());
+    std::printf("\nNo die clocks at the nominal 4 GHz: the slowest "
+                "critical path on a\nvariation-affected die always "
+                "loses to the design corner (Section 3).\n");
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Scenario: watch LinOpt adapt per-core voltages to application
+ * phases in real time — the mechanism behind the paper's weighted-
+ * throughput result ("speeding up high-IPC sections and slowing down
+ * low-IPC sections").
+ *
+ * Runs a small mixed workload (two compute-bound, two memory-bound
+ * applications) on four cores of a die, invokes LinOpt every 10 ms,
+ * and prints a timeline of the voltage level LinOpt assigns each
+ * core alongside the thread's instantaneous IPC.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "chip/sensors.hh"
+#include "core/linopt.hh"
+#include "core/sched.hh"
+
+using namespace varsched;
+
+int
+main()
+{
+    DieParams params;
+    Die die(params, 4);
+    ChipEvaluator evaluator(die);
+
+    std::vector<const AppProfile *> apps = {
+        &findApplication("vortex"), &findApplication("mcf"),
+        &findApplication("crafty"), &findApplication("art")};
+
+    Rng rng(3);
+    const auto assignment =
+        scheduleThreads(SchedAlgo::VarFAppIPC, die, apps, rng);
+
+    std::vector<PhaseSequencer> phases;
+    for (std::size_t t = 0; t < apps.size(); ++t)
+        phases.emplace_back(*apps[t], rng.fork(t));
+
+    const double ptarget = 16.0; // ~4/20 of the 75 W environment
+    LinOptManager linopt;
+
+    std::vector<int> levels(die.numCores(),
+                            static_cast<int>(die.maxLevel()));
+    std::vector<CoreWork> work(die.numCores());
+    auto refresh = [&]() {
+        for (auto &w : work)
+            w = CoreWork{};
+        for (std::size_t t = 0; t < apps.size(); ++t) {
+            CoreWork w;
+            w.app = apps[t];
+            w.cpiScale = phases[t].current().cpiScale;
+            w.missScale = phases[t].current().missScale;
+            w.activityScale = phases[t].current().activityScale;
+            work[assignment[t]] = w;
+        }
+    };
+    refresh();
+    ChipCondition cond = evaluator.evaluate(work, levels);
+
+    std::printf("LinOpt every 10 ms, 4 threads, Ptarget %.0f W\n\n",
+                ptarget);
+    std::printf("%-6s |", "t(ms)");
+    for (std::size_t t = 0; t < apps.size(); ++t)
+        std::printf(" %8s V/ipc |", apps[t]->name.c_str());
+    std::printf(" %7s %7s\n", "P(W)", "MIPS");
+
+    for (int step = 0; step < 30; ++step) {
+        const double tMs = step * 10.0;
+        refresh();
+
+        const auto snap = buildSnapshot(evaluator, work, cond, ptarget,
+                                        8.0, nullptr);
+        const auto active = linopt.selectLevels(snap);
+        for (std::size_t i = 0; i < snap.cores.size(); ++i)
+            levels[snap.cores[i].coreId] = active[i];
+
+        cond = evaluator.evaluate(work, levels);
+
+        std::printf("%-6.0f |", tMs);
+        for (std::size_t t = 0; t < apps.size(); ++t) {
+            const std::size_t core = assignment[t];
+            std::printf("  %.2f / %4.2f  |",
+                        die.voltage(static_cast<std::size_t>(
+                            levels[core])),
+                        cond.coreIpc[core]);
+        }
+        std::printf(" %7.1f %7.0f\n", cond.totalPowerW,
+                    cond.totalMips);
+
+        for (auto &seq : phases)
+            seq.advance(10.0);
+    }
+
+    std::printf("\nNote how memory-lull phases (low IPC) get parked "
+                "at low voltage while\ncompute bursts are funded with "
+                "the watts that frees.\n");
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Scenario: visualise what process variation actually looks like —
+ * the Fig 3 overlay of the paper. Manufactures a few dies and writes
+ * their systematic Vth maps as PGM images (viewable with any image
+ * tool), plus an ASCII rendering annotated with the core grid and
+ * each core's binned fmax, so the spatial story is visible in the
+ * terminal: cores sitting in dark (low-Vth) regions bin fast and
+ * leak; cores in bright regions bin slow and run cool.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "chip/die.hh"
+
+using namespace varsched;
+
+namespace
+{
+
+/** ASCII rendering of the Vth field with the core grid on top. */
+void
+asciiMap(const Die &die)
+{
+    const VariationMap &map = die.variationMap();
+    const char shades[] = " .:-=+*#%@"; // low Vth (fast) -> high
+    const int rows = 24, cols = 48;
+
+    // Normalise over the sampled range.
+    double lo = 1e300, hi = -1e300;
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            const double v = map.vthAt((c + 0.5) / cols,
+                                       (r + 0.5) / rows);
+            lo = std::min(lo, v);
+            hi = std::max(hi, v);
+        }
+    }
+
+    std::printf("systematic Vth map (dark = low Vth = fast & "
+                "leaky):\n");
+    for (int r = rows - 1; r >= 0; --r) {
+        std::printf("  ");
+        for (int c = 0; c < cols; ++c) {
+            const double v = map.vthAt((c + 0.5) / cols,
+                                       (r + 0.5) / rows);
+            const int idx = static_cast<int>(
+                9.99 * (v - lo) / (hi - lo + 1e-12));
+            std::putchar(shades[idx]);
+        }
+        std::putchar('\n');
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    DieParams params;
+
+    for (std::uint64_t seed : {2026ull, 4242ull}) {
+        const Die die(params, seed);
+        std::printf("=== die %llu ===\n",
+                    static_cast<unsigned long long>(seed));
+        asciiMap(die);
+
+        std::printf("\nbinned core fmax (GHz), floorplan order "
+                    "(C16..C20 on the top row):\n");
+        for (int row = 3; row >= 0; --row) {
+            std::printf("  ");
+            for (int col = 0; col < 5; ++col) {
+                const std::size_t c =
+                    static_cast<std::size_t>(row) * 5 +
+                    static_cast<std::size_t>(col);
+                std::printf("C%-2zu %.2f   ", c + 1,
+                            die.maxFreq(c) / 1e9);
+            }
+            std::printf("\n");
+        }
+
+        const std::string path =
+            "vth_map_" + std::to_string(seed) + ".pgm";
+        if (die.variationMap().vthField().writePgm(path))
+            std::printf("\nwrote %s (%zux%zu greyscale)\n\n",
+                        path.c_str(),
+                        die.variationMap().vthField().size(),
+                        die.variationMap().vthField().size());
+    }
+    std::printf("Slow cores sit in the bright (high-Vth) regions of "
+                "their die — the spatial\ncorrelation (phi = half the "
+                "die width) is why neighbouring cores bin alike.\n");
+    return 0;
+}

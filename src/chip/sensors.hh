@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Run-time chip evaluation and the sensor/profile snapshot the power
+ * managers consume.
+ *
+ * Two views of the same chip:
+ *
+ *  - ChipEvaluator::evaluate is "physics": given what runs where and
+ *    at which voltage level, it settles the leakage-temperature fixed
+ *    point (Su et al.) and reports the actual power, temperature, and
+ *    throughput. The system simulator advances time with it.
+ *
+ *  - buildSnapshot is "what the algorithms are allowed to know"
+ *    (Table 3): per selected thread-core pair, the manufacturer's
+ *    (voltage, frequency) table, IPC read from performance counters,
+ *    and power read from sensors at the *current* temperature —
+ *    optionally noisy. LinOpt additionally restricts itself to three
+ *    of these power readings, per Section 5.2.
+ */
+
+#ifndef VARSCHED_CHIP_SENSORS_HH
+#define VARSCHED_CHIP_SENSORS_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "chip/die.hh"
+#include "cmpsim/workload.hh"
+
+namespace varsched
+{
+
+/** What one core is running right now (phase-adjusted). */
+struct CoreWork
+{
+    /** Application on this core, or nullptr when idle/power-gated. */
+    const AppProfile *app = nullptr;
+    /** Phase multiplier on execution CPI. */
+    double cpiScale = 1.0;
+    /** Phase multiplier on memory misses per instruction. */
+    double missScale = 1.0;
+    /** Phase multiplier on dynamic-power activity. */
+    double activityScale = 1.0;
+};
+
+/** Physically-settled chip state. */
+struct ChipCondition
+{
+    std::vector<double> corePowerW; ///< Total per-core power, W.
+    std::vector<double> coreTempC;  ///< Settled core temperature.
+    std::vector<double> coreFreqHz; ///< Operating frequency.
+    std::vector<double> coreIpc;    ///< Per-core IPC (0 when idle).
+    std::vector<double> coreMips;   ///< Per-core MIPS.
+    double l2PowerW = 0.0;          ///< Both L2 blocks + uncore, W.
+    double totalPowerW = 0.0;       ///< Chip total, W.
+    double totalMips = 0.0;         ///< Sum of core MIPS.
+    std::vector<double> l2TempC;    ///< Per-L2-block temperature.
+    double spreaderC = 0.0;         ///< Package spreader temperature.
+    double sinkC = 0.0;             ///< Heat-sink temperature.
+};
+
+/** Physics evaluator bound to one die. */
+class ChipEvaluator
+{
+  public:
+    explicit ChipEvaluator(const Die &die);
+
+    /**
+     * Settle the chip at the given operating point.
+     *
+     * @param work Per-core workload (size == numCores()).
+     * @param levels Per-core voltage level (ignored for idle cores).
+     * @param freqCapHz When positive, clamp every core's clock to
+     *        this frequency — the UniFreq configurations, where all
+     *        cores run at the slowest core's maximum.
+     */
+    ChipCondition evaluate(const std::vector<CoreWork> &work,
+                           const std::vector<int> &levels,
+                           double freqCapHz = 0.0) const;
+
+    /**
+     * Transient variant: instead of settling the leakage-temperature
+     * fixed point, advance the previous thermal state by @p dtMs
+     * (thermal RC integration) and report the chip at the new
+     * temperatures. Captures the ms-scale silicon and seconds-scale
+     * package time constants that steady-state evaluation skips.
+     *
+     * @param previous Condition from the last tick (its temperatures
+     *        seed the integration; pass a solve()-initialised
+     *        condition for the first tick).
+     */
+    ChipCondition evaluateTransient(const std::vector<CoreWork> &work,
+                                    const std::vector<int> &levels,
+                                    const ChipCondition &previous,
+                                    double dtMs,
+                                    double freqCapHz = 0.0) const;
+
+    /** IPC of @p app at frequency @p f with phase scales applied. */
+    static double ipcOf(const AppProfile &app, const CoreWork &work,
+                        double freqHz);
+
+    /** Dynamic core power of @p work at (v, f). */
+    double dynamicPower(const CoreWork &work, double v, double f) const;
+
+    const Die &die() const { return *die_; }
+
+  private:
+    const Die *die_;
+};
+
+/** Per-(thread, core) slice of the sensor/profile snapshot. */
+struct CoreSnapshot
+{
+    std::size_t coreId = 0;   ///< Physical core.
+    std::size_t threadId = 0; ///< Index into the workload.
+    std::vector<double> freqHz; ///< Manufacturer (V, f) table.
+    std::vector<double> ipc;    ///< Counter-estimated IPC per level.
+    std::vector<double> powerW; ///< Sensor power per level (frozen T).
+    /**
+     * The thread's reference throughput (MIPS at nominal 4 GHz and
+     * its profile IPC) — the denominator of the weighted-throughput
+     * objective of Fig 13.
+     */
+    double refMips = 1.0;
+};
+
+/** Everything a power-management algorithm may consult. */
+struct ChipSnapshot
+{
+    std::vector<CoreSnapshot> cores; ///< Active thread-core pairs.
+    std::vector<double> voltage;     ///< Volts per level.
+    double uncorePowerW = 0.0; ///< L2 etc. — not manageable, counted.
+    double ptargetW = 0.0;     ///< Chip-wide budget.
+    double pcoreMaxW = 0.0;    ///< Per-core cap.
+
+    /** Chip power if each active core ran at levels[i]. */
+    double powerAt(const std::vector<int> &levels) const;
+    /** Total MIPS if each active core ran at levels[i]. */
+    double mipsAt(const std::vector<int> &levels) const;
+    /** Weighted throughput (sum of MIPS / refMips) at levels[i]. */
+    double weightedAt(const std::vector<int> &levels) const;
+    /** True when levels satisfy both power constraints. */
+    bool feasible(const std::vector<int> &levels) const;
+};
+
+/**
+ * Assemble the sensor view of the chip.
+ *
+ * @param evaluator Physics (used to synthesise the sensor readings).
+ * @param work Current per-core workload.
+ * @param current Settled condition whose temperatures freeze the
+ *        leakage seen by the sensors.
+ * @param ptargetW / @param pcoreMaxW Budgets copied into the snapshot.
+ * @param noise Optional RNG; when non-null, IPC and power readings
+ *        get ~1% multiplicative sensor noise.
+ */
+ChipSnapshot buildSnapshot(const ChipEvaluator &evaluator,
+                           const std::vector<CoreWork> &work,
+                           const ChipCondition &current, double ptargetW,
+                           double pcoreMaxW, Rng *noise = nullptr);
+
+} // namespace varsched
+
+#endif // VARSCHED_CHIP_SENSORS_HH

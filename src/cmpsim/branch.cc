@@ -1,0 +1,47 @@
+#include "cmpsim/branch.hh"
+
+namespace varsched
+{
+
+BranchPredictor::BranchPredictor(const BranchConfig &config)
+    : config_(config)
+{
+    const std::size_t entries = std::size_t{1} << config_.historyBits;
+    counters_.assign(entries, 2); // weakly taken
+    mask_ = entries - 1;
+}
+
+std::size_t
+BranchPredictor::indexOf(std::uint64_t pc) const
+{
+    return static_cast<std::size_t>(((pc >> 2) ^ history_) & mask_);
+}
+
+bool
+BranchPredictor::predict(std::uint64_t pc) const
+{
+    return counters_[indexOf(pc)] >= 2;
+}
+
+bool
+BranchPredictor::resolve(std::uint64_t pc, bool taken)
+{
+    const std::size_t idx = indexOf(pc);
+    const bool predicted = counters_[idx] >= 2;
+
+    std::uint8_t &ctr = counters_[idx];
+    if (taken && ctr < 3)
+        ++ctr;
+    else if (!taken && ctr > 0)
+        --ctr;
+
+    history_ = ((history_ << 1) | (taken ? 1 : 0)) & mask_;
+
+    ++branches_;
+    const bool correct = predicted == taken;
+    if (!correct)
+        ++mispredicts_;
+    return correct;
+}
+
+} // namespace varsched

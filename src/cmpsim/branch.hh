@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Gshare branch predictor with a 4K-entry BTB-style structure
+ * (Table 4's front end). Synthetic traces drive it with a mix of
+ * strongly-biased branches (predictable after warmup) and
+ * data-dependent branches (near-random outcomes), so realistic
+ * misprediction rates emerge from the predictor itself.
+ */
+
+#ifndef VARSCHED_CMPSIM_BRANCH_HH
+#define VARSCHED_CMPSIM_BRANCH_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace varsched
+{
+
+/** Gshare configuration. */
+struct BranchConfig
+{
+    /** log2 of the pattern-history-table entries (4K default). */
+    unsigned historyBits = 12;
+};
+
+/** Gshare predictor: global history XOR PC indexes 2-bit counters. */
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(const BranchConfig &config = {});
+
+    /** Predict the branch at @p pc. */
+    bool predict(std::uint64_t pc) const;
+
+    /**
+     * Resolve the branch: update counters and history.
+     * @retval true when the earlier prediction was correct.
+     */
+    bool resolve(std::uint64_t pc, bool taken);
+
+    /** Branches resolved. */
+    std::uint64_t branches() const { return branches_; }
+    /** Mispredictions observed. */
+    std::uint64_t mispredicts() const { return mispredicts_; }
+    /** Misprediction ratio. */
+    double mispredictRatio() const
+    {
+        return branches_ ? static_cast<double>(mispredicts_) /
+                static_cast<double>(branches_)
+                         : 0.0;
+    }
+
+  private:
+    std::size_t indexOf(std::uint64_t pc) const;
+
+    BranchConfig config_;
+    std::vector<std::uint8_t> counters_; ///< 2-bit saturating.
+    std::uint64_t history_ = 0;
+    std::uint64_t mask_;
+    std::uint64_t branches_ = 0;
+    std::uint64_t mispredicts_ = 0;
+};
+
+} // namespace varsched
+
+#endif // VARSCHED_CMPSIM_BRANCH_HH

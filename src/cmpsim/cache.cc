@@ -1,0 +1,90 @@
+#include "cmpsim/cache.hh"
+
+#include <cassert>
+
+namespace varsched
+{
+
+CacheConfig
+l1Config()
+{
+    return CacheConfig{16 * 1024, 2, 64};
+}
+
+CacheConfig
+l2Config()
+{
+    return CacheConfig{8 * 1024 * 1024, 8, 64};
+}
+
+Cache::Cache(const CacheConfig &config) : config_(config)
+{
+    assert(config_.lineBytes > 0 && config_.associativity > 0);
+    numSets_ = config_.sizeBytes /
+        (config_.lineBytes * config_.associativity);
+    assert(numSets_ > 0);
+    ways_.assign(numSets_ * config_.associativity, Way{});
+}
+
+std::size_t
+Cache::setIndex(std::uint64_t addr) const
+{
+    return (addr / config_.lineBytes) % numSets_;
+}
+
+std::uint64_t
+Cache::tagOf(std::uint64_t addr) const
+{
+    return addr / config_.lineBytes / numSets_;
+}
+
+bool
+Cache::access(std::uint64_t addr)
+{
+    ++accesses_;
+    ++clock_;
+    const std::size_t set = setIndex(addr);
+    const std::uint64_t tag = tagOf(addr);
+    Way *base = &ways_[set * config_.associativity];
+
+    Way *victim = base;
+    for (std::size_t w = 0; w < config_.associativity; ++w) {
+        Way &way = base[w];
+        if (way.valid && way.tag == tag) {
+            way.lastUse = clock_;
+            return true;
+        }
+        if (!way.valid ||
+            (victim->valid && way.lastUse < victim->lastUse)) {
+            victim = &way;
+        }
+    }
+
+    ++misses_;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = clock_;
+    return false;
+}
+
+bool
+Cache::contains(std::uint64_t addr) const
+{
+    const std::size_t set = setIndex(addr);
+    const std::uint64_t tag = tagOf(addr);
+    const Way *base = &ways_[set * config_.associativity];
+    for (std::size_t w = 0; w < config_.associativity; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (auto &w : ways_)
+        w = Way{};
+}
+
+} // namespace varsched

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Set-associative cache model with LRU replacement. Used by the
+ * trace-driven core model for the private L1s (16 KB, 2-way, 64 B
+ * lines) and the shared L2 (8 MB, 8-way) of Table 4. Only hit/miss
+ * behaviour is modelled — latencies are applied by the core model.
+ */
+
+#ifndef VARSCHED_CMPSIM_CACHE_HH
+#define VARSCHED_CMPSIM_CACHE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace varsched
+{
+
+/** Geometry of one cache. */
+struct CacheConfig
+{
+    std::size_t sizeBytes = 16 * 1024;
+    std::size_t associativity = 2;
+    std::size_t lineBytes = 64;
+};
+
+/** Canonical L1 configuration (Table 4). */
+CacheConfig l1Config();
+/** Canonical shared-L2 configuration (Table 4). */
+CacheConfig l2Config();
+
+/**
+ * A set-associative LRU cache. access() returns whether the address
+ * hit and fills the line on miss.
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    /** Access one byte address; @retval true on hit. */
+    bool access(std::uint64_t addr);
+
+    /** Lookup without fill (used by tests). */
+    bool contains(std::uint64_t addr) const;
+
+    /** Invalidate everything. */
+    void flush();
+
+    /** Accesses so far. */
+    std::uint64_t accesses() const { return accesses_; }
+    /** Misses so far. */
+    std::uint64_t misses() const { return misses_; }
+    /** Miss ratio (0 when never accessed). */
+    double missRatio() const
+    {
+        return accesses_ ? static_cast<double>(misses_) /
+                static_cast<double>(accesses_)
+                         : 0.0;
+    }
+
+    /** Number of sets. */
+    std::size_t numSets() const { return numSets_; }
+
+  private:
+    /** One way entry: tag plus LRU stamp. */
+    struct Way
+    {
+        std::uint64_t tag = ~0ull;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    std::size_t setIndex(std::uint64_t addr) const;
+    std::uint64_t tagOf(std::uint64_t addr) const;
+
+    CacheConfig config_;
+    std::size_t numSets_;
+    std::vector<Way> ways_; ///< numSets x associativity, row-major.
+    std::uint64_t clock_ = 0;
+    std::uint64_t accesses_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace varsched
+
+#endif // VARSCHED_CMPSIM_CACHE_HH

@@ -1,0 +1,182 @@
+#include "cmpsim/core.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace varsched
+{
+
+CoreModel::CoreModel(const CoreConfig &config, const AppProfile &app,
+                     Rng rng)
+    : config_(config), trace_(app, rng.fork(1)), l1d_(l1Config()),
+      l2_(l2Config())
+{
+    trace_.prefill(l1d_, l2_);
+}
+
+double
+CoreModel::step(SimStats &stats, bool record)
+{
+    const SynthInstr instr = trace_.next();
+    const std::uint64_t i = index_++;
+
+    // --- Fetch: frontend bandwidth plus any branch redirect, gated
+    // by ROB availability (the slot of instr i-robSize must have
+    // committed).
+    double fetch = std::max(fetchClock_, redirectUntil_);
+    if (i >= config_.robSize) {
+        const double robFree =
+            commit_[(i - config_.robSize) % kWindow];
+        fetch = std::max(fetch, robFree);
+    }
+    fetchClock_ = fetch + 1.0 / static_cast<double>(config_.fetchWidth);
+
+    // --- Dependency: wait for the producer's completion.
+    double ready = fetch + 1.0; // decode/rename
+    if (instr.depDistance != 0 && instr.depDistance < kWindow &&
+        instr.depDistance <= i) {
+        ready = std::max(ready,
+                         completion_[(i - instr.depDistance) % kWindow]);
+    }
+
+    // --- Issue: bandwidth token clock.
+    double issue = std::max(ready, issueClock_);
+    issueClock_ = std::max(issueClock_,
+                           issue - 8.0) + // cap token credit window
+        1.0 / static_cast<double>(config_.issueWidth);
+
+    // --- Execute.
+    double latency = config_.intLatency;
+    switch (instr.type) {
+      case InstrType::IntAlu:
+        latency = config_.intLatency;
+        if (record)
+            ++stats.intOps;
+        break;
+      case InstrType::FpAlu:
+        latency = config_.fpLatency;
+        if (record)
+            ++stats.fpOps;
+        break;
+      case InstrType::Store:
+        // Stores retire through the store buffer; the accesses happen
+        // off the critical path but still update cache state and miss
+        // counts (write-allocate).
+        if (record)
+            ++stats.stores;
+        if (!l1d_.access(instr.addr)) {
+            if (record)
+                ++stats.l1dMisses;
+            if (!l2_.access(instr.addr)) {
+                if (record)
+                    ++stats.l2Misses;
+                // Store misses consume memory bandwidth, delaying
+                // later load misses, though commit does not wait.
+                const double memCycles =
+                    config_.memLatencyNs * 1e-9 * config_.freqHz;
+                memPortFree_ = std::max(memPortFree_, issue) +
+                    memCycles * 0.85;
+            }
+        }
+        latency = 1.0;
+        break;
+      case InstrType::Load: {
+        if (record)
+            ++stats.loads;
+        if (l1d_.access(instr.addr)) {
+            latency = config_.l1HitCycles;
+        } else if (l2_.access(instr.addr)) {
+            if (record)
+                ++stats.l1dMisses;
+            latency = config_.l2HitCycles;
+        } else {
+            if (record) {
+                ++stats.l1dMisses;
+                ++stats.l2Misses;
+            }
+            const double memCycles =
+                config_.memLatencyNs * 1e-9 * config_.freqHz;
+            // Misses largely serialise: SPEC-like miss streams carry
+            // address dependences (pointer chasing) and bank
+            // conflicts, so back-to-back misses overlap only a little.
+            const double start = std::max(issue, memPortFree_);
+            memPortFree_ = start + memCycles * 0.85;
+            latency = (start - issue) + memCycles;
+        }
+        break;
+      }
+      case InstrType::Branch: {
+        latency = config_.intLatency;
+        if (record)
+            ++stats.branches;
+        const bool correct = predictor_.resolve(instr.addr, instr.taken);
+        if (!correct) {
+            if (record)
+                ++stats.branchMispredicts;
+            redirectUntil_ = std::max(
+                redirectUntil_,
+                issue + latency +
+                    static_cast<double>(config_.mispredictPenalty));
+        }
+        break;
+      }
+    }
+
+    const double complete = issue + latency;
+    completion_[i % kWindow] = complete;
+
+    // In-order commit.
+    const double commit = std::max(complete, lastCommit_) +
+        1.0 / 2.0; // commit width 2
+    commit_[i % kWindow] = commit;
+    lastCommit_ = commit;
+    return commit;
+}
+
+SimStats
+CoreModel::run(std::uint64_t numInstrs)
+{
+    SimStats stats;
+
+    // Warmup: fill caches and predictor without counting.
+    const std::uint64_t warmup = std::min<std::uint64_t>(
+        20000, numInstrs / 4);
+    for (std::uint64_t k = 0; k < warmup; ++k)
+        step(stats, false);
+
+    const double startCycle = lastCommit_;
+    for (std::uint64_t k = 0; k < numInstrs; ++k)
+        step(stats, true);
+
+    stats.instructions = numInstrs;
+    stats.cycles = static_cast<std::uint64_t>(
+        std::max(1.0, lastCommit_ - startCycle));
+
+    // Measured per-unit activity factors: events per cycle over each
+    // unit's capacity.
+    const double cycles = static_cast<double>(stats.cycles);
+    const double instrs = static_cast<double>(stats.instructions);
+    const double memOps = static_cast<double>(stats.loads + stats.stores);
+    auto &act = stats.unitActivity;
+    act[static_cast<std::size_t>(CoreUnit::Fetch)] =
+        instrs / (cycles * config_.fetchWidth);
+    act[static_cast<std::size_t>(CoreUnit::Decode)] =
+        instrs / (cycles * config_.fetchWidth);
+    act[static_cast<std::size_t>(CoreUnit::RegFile)] =
+        instrs * 3.0 / (cycles * 6.0);
+    act[static_cast<std::size_t>(CoreUnit::IntExec)] =
+        static_cast<double>(stats.intOps + stats.branches) /
+        (cycles * config_.issueWidth);
+    act[static_cast<std::size_t>(CoreUnit::FpExec)] =
+        static_cast<double>(stats.fpOps) / cycles;
+    act[static_cast<std::size_t>(CoreUnit::LoadStore)] = memOps / cycles;
+    act[static_cast<std::size_t>(CoreUnit::L1I)] =
+        instrs / (cycles * config_.fetchWidth);
+    act[static_cast<std::size_t>(CoreUnit::L1D)] = memOps / cycles;
+    for (auto &a : act)
+        a = std::min(a, 1.0);
+
+    return stats;
+}
+
+} // namespace varsched

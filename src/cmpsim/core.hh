@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Trace-driven out-of-order core timing model (SESC/Alpha-21264
+ * flavoured, per Table 4: 4-wide fetch, 2-wide issue/commit, 80-entry
+ * ROB window, 7-cycle mispredict penalty, 2-cycle L1, 8-12 cycle L2,
+ * 100 ns memory).
+ *
+ * The model tracks per-instruction fetch/issue/completion/commit
+ * times with O(1) state per instruction: dependency stalls through a
+ * completion-time window, issue bandwidth through a token clock, the
+ * ROB through the commit time of the instruction ROB-size slots
+ * earlier, branch redirects through the resolve time of mispredicted
+ * branches, and memory-level parallelism through overlapping misses
+ * that the window permits. Memory latency is fixed in nanoseconds, so
+ * the miss penalty in cycles grows with frequency — the IPC(f)
+ * dependence the scheduling algorithms exploit.
+ *
+ * Per-unit activity factors are measured on the way through, feeding
+ * the Wattch-style dynamic power model.
+ */
+
+#ifndef VARSCHED_CMPSIM_CORE_HH
+#define VARSCHED_CMPSIM_CORE_HH
+
+#include <cstdint>
+
+#include "cmpsim/branch.hh"
+#include "cmpsim/cache.hh"
+#include "cmpsim/tracegen.hh"
+#include "cmpsim/workload.hh"
+#include "power/dynamic.hh"
+#include "solver/rng.hh"
+
+namespace varsched
+{
+
+/** Microarchitecture configuration (defaults = Table 4). */
+struct CoreConfig
+{
+    unsigned fetchWidth = 4;
+    unsigned issueWidth = 2;
+    unsigned robSize = 80;
+    /** Frontend refill penalty after a mispredict, cycles. */
+    unsigned mispredictPenalty = 7;
+    unsigned intLatency = 1;
+    unsigned fpLatency = 4;
+    unsigned l1HitCycles = 2;
+    unsigned l2HitCycles = 10;
+    /** Main memory latency, nanoseconds (400 cycles at 4 GHz). */
+    double memLatencyNs = 100.0;
+    /** Core clock, Hz. */
+    double freqHz = 4.0e9;
+};
+
+/** Aggregate statistics of one simulation run. */
+struct SimStats
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t branchMispredicts = 0;
+    std::uint64_t l1dMisses = 0;
+    std::uint64_t l2Misses = 0;
+    std::uint64_t intOps = 0;
+    std::uint64_t fpOps = 0;
+
+    /** Measured per-unit activity factors. */
+    ActivityVector unitActivity{};
+
+    /** Instructions per cycle. */
+    double ipc() const
+    {
+        return cycles ? static_cast<double>(instructions) /
+                static_cast<double>(cycles)
+                      : 0.0;
+    }
+    /** L1D misses per kilo-instruction. */
+    double l1Mpki() const
+    {
+        return instructions ? 1000.0 * static_cast<double>(l1dMisses) /
+                static_cast<double>(instructions)
+                            : 0.0;
+    }
+    /** L2 (memory) misses per kilo-instruction. */
+    double l2Mpki() const
+    {
+        return instructions ? 1000.0 * static_cast<double>(l2Misses) /
+                static_cast<double>(instructions)
+                            : 0.0;
+    }
+};
+
+/** One core executing one application's synthetic trace. */
+class CoreModel
+{
+  public:
+    /**
+     * @param config Microarchitecture.
+     * @param app Application profile feeding the trace generator.
+     * @param rng Private stream for the trace.
+     */
+    CoreModel(const CoreConfig &config, const AppProfile &app, Rng rng);
+
+    /**
+     * Run @p numInstrs instructions and return the statistics
+     * (includes a warmup that is excluded from the counts).
+     */
+    SimStats run(std::uint64_t numInstrs);
+
+  private:
+    /** Execute one instruction; returns its commit time. */
+    double step(SimStats &stats, bool record);
+
+    CoreConfig config_;
+    TraceGenerator trace_;
+    BranchPredictor predictor_;
+    Cache l1d_;
+    Cache l2_;
+
+    // Rolling timing state (all in cycles, as doubles).
+    static constexpr std::size_t kWindow = 128;
+    double completion_[kWindow] = {};
+    double commit_[kWindow] = {};
+    std::uint64_t index_ = 0;
+    double fetchClock_ = 0.0;
+    double issueClock_ = 0.0;
+    double redirectUntil_ = 0.0;
+    double lastCommit_ = 0.0;
+    double memPortFree_ = 0.0;
+};
+
+} // namespace varsched
+
+#endif // VARSCHED_CMPSIM_CORE_HH

@@ -1,0 +1,27 @@
+#include "cmpsim/perfmodel.hh"
+
+namespace varsched
+{
+
+MeasuredApp
+measureApplication(const AppProfile &app, std::uint64_t numInstrs,
+                   double freqHz, std::uint64_t seed)
+{
+    CoreConfig config;
+    config.freqHz = freqHz;
+
+    CoreModel core(config, app, Rng(seed));
+    MeasuredApp out;
+    out.stats = core.run(numInstrs);
+    out.ipc = out.stats.ipc();
+
+    DynamicPowerModel dyn;
+    out.dynPowerW = dyn.corePower(out.stats.unitActivity, 1.0, freqHz);
+
+    const double instrsPerSec = out.ipc * freqHz;
+    out.l2AccessesPerSec =
+        out.stats.l1Mpki() / 1000.0 * instrsPerSec;
+    return out;
+}
+
+} // namespace varsched

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Bridge between the trace-driven timing model and the profile-based
+ * analytic model the scheduling experiments use: run the detailed
+ * simulation for an application and report the measured IPC, miss
+ * rates, and Wattch-style dynamic power. bench_table5 uses this to
+ * regenerate Table 5; tests use it to check that the analytic
+ * decomposition (cpiExe + memMpi * memLatency * f) tracks the
+ * detailed model across frequency.
+ */
+
+#ifndef VARSCHED_CMPSIM_PERFMODEL_HH
+#define VARSCHED_CMPSIM_PERFMODEL_HH
+
+#include <cstdint>
+
+#include "cmpsim/core.hh"
+#include "cmpsim/workload.hh"
+
+namespace varsched
+{
+
+/** Detailed-simulation measurement of one application. */
+struct MeasuredApp
+{
+    SimStats stats;
+    /** Measured IPC. */
+    double ipc = 0.0;
+    /** Dynamic core power from measured activity at (1 V, f), W. */
+    double dynPowerW = 0.0;
+    /** L2 accesses per second this application generates. */
+    double l2AccessesPerSec = 0.0;
+};
+
+/**
+ * Simulate @p numInstrs of @p app on the detailed core model and
+ * derive power from the measured activity.
+ *
+ * @param freqHz Core frequency (memory stays 100 ns).
+ * @param seed Trace seed (deterministic).
+ */
+MeasuredApp measureApplication(const AppProfile &app,
+                               std::uint64_t numInstrs,
+                               double freqHz = 4.0e9,
+                               std::uint64_t seed = 12345);
+
+} // namespace varsched
+
+#endif // VARSCHED_CMPSIM_PERFMODEL_HH

@@ -1,0 +1,61 @@
+#include "core/exhaustive.hh"
+
+#include <cassert>
+#include <cmath>
+
+namespace varsched
+{
+
+ExhaustiveManager::ExhaustiveManager(std::size_t maxStates,
+                                     PmObjective objective)
+    : maxStates_(maxStates), objective_(objective)
+{
+}
+
+std::vector<int>
+ExhaustiveManager::selectLevels(const ChipSnapshot &snap)
+{
+    const std::size_t n = snap.cores.size();
+    lastStates_ = 0;
+    if (n == 0)
+        return {};
+
+    const int numLevels = static_cast<int>(snap.voltage.size());
+    const double stateCount =
+        std::pow(static_cast<double>(numLevels), static_cast<double>(n));
+    assert(stateCount <= static_cast<double>(maxStates_) &&
+           "exhaustive search space too large");
+    (void)stateCount;
+
+    std::vector<int> state(n, 0);
+    std::vector<int> best(n, 0);
+    double bestMips = -1.0;
+
+    for (;;) {
+        ++lastStates_;
+        if (snap.feasible(state)) {
+            const double mips =
+                objective_ == PmObjective::Weighted
+                ? snap.weightedAt(state)
+                : snap.mipsAt(state);
+            if (mips > bestMips) {
+                bestMips = mips;
+                best = state;
+            }
+        }
+        // Odometer increment.
+        std::size_t pos = 0;
+        while (pos < n) {
+            if (++state[pos] < numLevels)
+                break;
+            state[pos] = 0;
+            ++pos;
+        }
+        if (pos == n)
+            break;
+    }
+
+    return bestMips >= 0.0 ? best : std::vector<int>(n, 0);
+}
+
+} // namespace varsched

@@ -1,0 +1,87 @@
+#include "core/experiment.hh"
+
+#include <cassert>
+#include <cstdlib>
+
+namespace varsched
+{
+
+std::size_t
+envSize(const char *name, std::size_t fallback)
+{
+    const char *value = std::getenv(name);
+    if (value == nullptr)
+        return fallback;
+    const long parsed = std::strtol(value, nullptr, 10);
+    return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+BatchConfig
+defaultBatch(std::size_t dies, std::size_t trials)
+{
+    BatchConfig batch;
+    batch.numDies = envSize("VARSCHED_DIES", dies);
+    batch.numTrials = envSize("VARSCHED_TRIALS", trials);
+    return batch;
+}
+
+BatchResult
+runBatch(const BatchConfig &batch, std::size_t numThreads,
+         const std::vector<SystemConfig> &configs)
+{
+    assert(!configs.empty());
+
+    BatchResult result;
+    result.absolute.resize(configs.size());
+    result.relative.resize(configs.size());
+
+    Rng dieSeeder(batch.seed);
+    for (std::size_t d = 0; d < batch.numDies; ++d) {
+        const Die die(batch.dieParams, dieSeeder.next());
+        Rng trialSeeder = Rng(batch.seed).fork(7000 + d);
+
+        for (std::size_t t = 0; t < batch.numTrials; ++t) {
+            Rng workloadRng = trialSeeder.fork(t);
+            const auto apps = randomWorkload(numThreads, workloadRng);
+            const std::uint64_t runSeed = workloadRng.next();
+
+            std::vector<SystemResult> runs;
+            runs.reserve(configs.size());
+            for (const SystemConfig &proto : configs) {
+                SystemConfig config = proto;
+                config.seed = runSeed; // identical across configs
+                SystemSimulator sim(die, apps, config);
+                runs.push_back(sim.run());
+            }
+
+            for (std::size_t k = 0; k < configs.size(); ++k) {
+                auto &abs = result.absolute[k];
+                abs.mips.add(runs[k].avgMips);
+                abs.weightedIpc.add(runs[k].avgWeightedIpc);
+                abs.powerW.add(runs[k].avgPowerW);
+                abs.freqHz.add(runs[k].avgFreqHz);
+                abs.ed2.add(runs[k].ed2);
+                abs.weightedEd2.add(runs[k].weightedEd2);
+                abs.deviation.add(runs[k].powerDeviation);
+                abs.worstAging.add(runs[k].worstAgingRate);
+                abs.lifetimeYears.add(runs[k].projectedLifetimeYears);
+
+                auto &rel = result.relative[k];
+                const SystemResult &base = runs[0];
+                rel.mips.add(runs[k].avgMips / base.avgMips);
+                rel.weightedIpc.add(runs[k].avgWeightedIpc /
+                                    base.avgWeightedIpc);
+                rel.weightedProgress.add(runs[k].avgWeightedProgress /
+                                         base.avgWeightedProgress);
+                rel.powerW.add(runs[k].avgPowerW / base.avgPowerW);
+                rel.freqHz.add(runs[k].avgFreqHz / base.avgFreqHz);
+                rel.ed2.add(runs[k].ed2 / base.ed2);
+                rel.weightedEd2.add(runs[k].weightedEd2 /
+                                    base.weightedEd2);
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace varsched

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Batch experiment harness: the paper evaluates every configuration
+ * over 200 manufactured dies and 20 workload trials, reporting
+ * averages normalised to a baseline configuration. runBatch()
+ * reproduces that protocol with paired comparisons — every
+ * configuration sees the *same* (die, workload, seed) tuples, so the
+ * relative metrics are differences in algorithm, not in luck.
+ *
+ * Batch sizes default to bench-friendly values and can be raised to
+ * the paper's 200x20 through the VARSCHED_DIES / VARSCHED_TRIALS
+ * environment variables.
+ */
+
+#ifndef VARSCHED_CORE_EXPERIMENT_HH
+#define VARSCHED_CORE_EXPERIMENT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "chip/die.hh"
+#include "core/system.hh"
+#include "solver/stats.hh"
+
+namespace varsched
+{
+
+/** Batch dimensions. */
+struct BatchConfig
+{
+    DieParams dieParams;
+    std::size_t numDies = 20;
+    std::size_t numTrials = 6;
+    std::uint64_t seed = 2026;
+};
+
+/**
+ * Batch sized from defaults and the VARSCHED_DIES / VARSCHED_TRIALS
+ * environment overrides.
+ */
+BatchConfig defaultBatch(std::size_t dies, std::size_t trials);
+
+/** Read a positive size_t environment override. */
+std::size_t envSize(const char *name, std::size_t fallback);
+
+/** Per-configuration absolute metrics (one sample per die x trial). */
+struct ConfigMetrics
+{
+    Summary mips;
+    Summary weightedIpc;
+    Summary powerW;
+    Summary freqHz;
+    Summary ed2;
+    Summary weightedEd2;
+    Summary deviation;
+    Summary worstAging;    ///< Worst core's aging rate per run.
+    Summary lifetimeYears; ///< Projected chip lifetime per run.
+};
+
+/**
+ * Per-configuration metrics relative to configuration 0, paired per
+ * (die, trial).
+ */
+struct RelativeMetrics
+{
+    Summary mips;
+    Summary weightedIpc;
+    Summary weightedProgress;
+    Summary powerW;
+    Summary freqHz;
+    Summary ed2;
+    Summary weightedEd2;
+};
+
+/** Outcome of runBatch. */
+struct BatchResult
+{
+    std::vector<ConfigMetrics> absolute;
+    std::vector<RelativeMetrics> relative;
+};
+
+/**
+ * Run every configuration over the same dies and workloads.
+ *
+ * @param batch Batch dimensions and technology parameters.
+ * @param numThreads Threads per workload.
+ * @param configs Configurations; configs[0] is the baseline for the
+ *        relative metrics.
+ */
+BatchResult runBatch(const BatchConfig &batch, std::size_t numThreads,
+                     const std::vector<SystemConfig> &configs);
+
+} // namespace varsched
+
+#endif // VARSCHED_CORE_EXPERIMENT_HH

@@ -1,0 +1,202 @@
+#include "core/linopt.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "solver/matrix.hh"
+
+namespace varsched
+{
+
+LinOptManager::LinOptManager(const LinOptConfig &config) : config_(config)
+{
+    assert(config_.powerSamplePoints == 2 ||
+           config_.powerSamplePoints == 3);
+}
+
+std::vector<int>
+LinOptManager::selectLevels(const ChipSnapshot &snap)
+{
+    diag_ = LinOptDiag{};
+    const std::size_t n = snap.cores.size();
+    if (n == 0)
+        return {};
+
+    const std::size_t numLevels = snap.voltage.size();
+    const double vLow = snap.voltage.front();
+    const double vHigh = snap.voltage.back();
+    const double coreBudget = snap.ptargetW - snap.uncorePowerW;
+
+    // Power measurement points: Vlow, (Vmid,) Vhigh.
+    std::vector<std::size_t> sampleLevels;
+    sampleLevels.push_back(0);
+    if (config_.powerSamplePoints == 3)
+        sampleLevels.push_back(numLevels / 2);
+    sampleLevels.push_back(numLevels - 1);
+
+    // Per-core linear fits.
+    std::vector<double> a(n), b(n), c(n), fSlope(n), fIcept(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const CoreSnapshot &core = snap.cores[i];
+
+        // f_i(v): fit over the full manufacturer table.
+        std::vector<double> vs(snap.voltage.begin(), snap.voltage.end());
+        std::vector<double> fs(core.freqHz.begin(), core.freqHz.end());
+        const auto [fb, fc] = fitLine(vs, fs);
+        fSlope[i] = fb;
+        fIcept[i] = fc;
+
+        // Objective: tp_i = ipc_i * f_i(v) with IPC read once (at the
+        // middle level) and assumed frequency-independent. In
+        // weighted mode every thread's throughput is normalised by
+        // its reference MIPS, so slow-intrinsic threads count too.
+        const double ipc = core.ipc[numLevels / 2];
+        const double weight = config_.objective == PmObjective::Weighted
+            ? 1.0 / core.refMips
+            : 1.0;
+        a[i] = weight * ipc * fb / 1.0e6; // (weighted) MIPS per volt
+
+        // p_i(v) = b_i v + c_i from the sampled sensor powers (Fig 1).
+        std::vector<double> pv, pw;
+        for (std::size_t s : sampleLevels) {
+            pv.push_back(snap.voltage[s]);
+            pw.push_back(core.powerW[s]);
+        }
+        const auto [pb, pc] = fitLine(pv, pw);
+        b[i] = pb;
+        c[i] = pc;
+    }
+
+    // LP over x_i = v_i - Vlow >= 0.
+    LinearProgram lp;
+    lp.objective = a;
+
+    std::vector<double> budgetRow = b;
+    double budgetRhs = coreBudget;
+    for (std::size_t i = 0; i < n; ++i)
+        budgetRhs -= b[i] * vLow + c[i];
+    lp.addRow(budgetRow, budgetRhs);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        std::vector<double> row(n, 0.0);
+        row[i] = b[i];
+        lp.addRow(row, snap.pcoreMaxW - c[i] - b[i] * vLow);
+        row[i] = 1.0;
+        lp.addRow(row, vHigh - vLow);
+    }
+
+    const LpResult result = solveSimplex(lp);
+    diag_.status = result.status;
+    diag_.pivots = result.pivots;
+
+    std::vector<int> levels(n, 0);
+    if (result.status != LpResult::Status::Optimal) {
+        // Budget unreachable even at Vlow: pin everything to the
+        // bottom level — the closest the controller can get.
+        diag_.continuousV.assign(n, vLow);
+        return levels;
+    }
+
+    // Round the continuous voltages down to legal levels.
+    diag_.continuousV.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double v = vLow + result.x[i];
+        diag_.continuousV[i] = v;
+        int level = 0;
+        for (std::size_t l = 0; l < numLevels; ++l) {
+            if (snap.voltage[l] <= v + 1e-9)
+                level = static_cast<int>(l);
+        }
+        levels[i] = level;
+    }
+
+    // The LP solution can overshoot or undershoot the real budget
+    // because the power model was linearised. The running system
+    // continuously monitors total and per-core power against the
+    // targets (Section 5.2, last paragraph), so the controller closes
+    // the loop on the *monitored* powers: trim the least costly step
+    // down while over budget, then (optionally) refill remaining
+    // slack with the best marginal MIPS-per-watt step up.
+    auto corePower = [&](std::size_t i, int level) {
+        return snap.cores[i].powerW[static_cast<std::size_t>(level)];
+    };
+    auto totalPower = [&]() {
+        double p = snap.uncorePowerW;
+        for (std::size_t i = 0; i < n; ++i)
+            p += corePower(i, levels[i]);
+        return p;
+    };
+    auto coreMips = [&](std::size_t i, int level) {
+        // IPC assumed frequency-independent, as in the objective;
+        // weighted mode scores normalised progress instead of MIPS.
+        const double ipc = snap.cores[i].ipc[numLevels / 2];
+        const double weight = config_.objective == PmObjective::Weighted
+            ? 1.0 / snap.cores[i].refMips
+            : 1.0;
+        return weight * ipc *
+            snap.cores[i].freqHz[static_cast<std::size_t>(level)] /
+            1.0e6;
+    };
+
+    for (std::size_t i = 0; i < n; ++i) {
+        while (levels[i] > 0 &&
+               corePower(i, levels[i]) > snap.pcoreMaxW) {
+            --levels[i];
+        }
+    }
+    while (totalPower() > snap.ptargetW) {
+        double bestCost = 1e300;
+        std::size_t bestCore = n;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (levels[i] == 0)
+                continue;
+            const double dPower = corePower(i, levels[i]) -
+                corePower(i, levels[i] - 1);
+            const double dMips = coreMips(i, levels[i]) -
+                coreMips(i, levels[i] - 1);
+            const double cost =
+                dPower > 1e-12 ? dMips / dPower : 1e300;
+            if (cost < bestCost) {
+                bestCost = cost;
+                bestCore = i;
+            }
+        }
+        if (bestCore == n)
+            break; // everything at the floor; budget unreachable
+        --levels[bestCore];
+    }
+
+    if (!config_.greedyRefill)
+        return levels;
+
+    for (;;) {
+        double bestGain = -1.0;
+        std::size_t bestCore = n;
+        const double currentPower = totalPower();
+        for (std::size_t i = 0; i < n; ++i) {
+            const int next = levels[i] + 1;
+            if (next >= static_cast<int>(numLevels))
+                continue;
+            const double dPower =
+                corePower(i, next) - corePower(i, levels[i]);
+            if (currentPower + dPower > snap.ptargetW ||
+                corePower(i, next) > snap.pcoreMaxW) {
+                continue;
+            }
+            const double dMips =
+                coreMips(i, next) - coreMips(i, levels[i]);
+            const double gain = dPower > 1e-12 ? dMips / dPower : dMips;
+            if (gain > bestGain) {
+                bestGain = gain;
+                bestCore = i;
+            }
+        }
+        if (bestCore == n)
+            break;
+        ++levels[bestCore];
+    }
+    return levels;
+}
+
+} // namespace varsched

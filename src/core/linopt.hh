@@ -1,0 +1,75 @@
+/**
+ * @file
+ * LinOpt: linear-programming power management (Section 4.3.1).
+ *
+ * Per active core i, the controller knows:
+ *  - the manufacturer's (voltage, frequency) table, whose near-linear
+ *    f_i(v) it fits as slope/intercept;
+ *  - the thread's IPC from performance counters (assumed independent
+ *    of frequency), giving the throughput objective coefficient
+ *    a_i = ipc_i * slope_i; and
+ *  - the core's measured power at three voltages (Vlow, Vmid, Vhigh),
+ *    least-squares fitted as p_i(v) = b_i v + c_i (Fig 1).
+ *
+ * It then maximises sum(a_i v_i) subject to sum(p_i) <= Ptarget,
+ * p_i <= Pcoremax and Vlow <= v_i <= Vhigh with the Simplex method,
+ * rounds each v_i down to a legal level, and greedily refills any
+ * remaining budget by the best marginal MIPS/W step — still judged
+ * with the linear power model, which is all LinOpt knows.
+ */
+
+#ifndef VARSCHED_CORE_LINOPT_HH
+#define VARSCHED_CORE_LINOPT_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "core/pmalgo.hh"
+#include "solver/simplex.hh"
+
+namespace varsched
+{
+
+/** LinOpt tuning. */
+struct LinOptConfig
+{
+    /**
+     * Number of voltage measurement points for the power fit
+     * (Section 5.2 allows 3 or, at the very least, 2).
+     */
+    int powerSamplePoints = 3;
+    /** Enable the greedy refill pass after rounding down. */
+    bool greedyRefill = true;
+    /** What to maximise (Fig 11: Throughput; Fig 13: Weighted). */
+    PmObjective objective = PmObjective::Throughput;
+};
+
+/** Diagnostics of the last LinOpt invocation (for Fig 15 / tests). */
+struct LinOptDiag
+{
+    LpResult::Status status = LpResult::Status::Optimal;
+    std::size_t pivots = 0;
+    /** Continuous LP voltages before discretisation. */
+    std::vector<double> continuousV;
+};
+
+/** The LinOpt power manager. */
+class LinOptManager : public PowerManager
+{
+  public:
+    explicit LinOptManager(const LinOptConfig &config = {});
+
+    std::string name() const override { return "LinOpt"; }
+    std::vector<int> selectLevels(const ChipSnapshot &snap) override;
+
+    /** Diagnostics of the most recent selectLevels call. */
+    const LinOptDiag &lastDiag() const { return diag_; }
+
+  private:
+    LinOptConfig config_;
+    LinOptDiag diag_;
+};
+
+} // namespace varsched
+
+#endif // VARSCHED_CORE_LINOPT_HH

@@ -1,0 +1,59 @@
+#include "core/metrics.hh"
+
+#include <cassert>
+
+namespace varsched
+{
+
+double
+ed2Of(double powerW, double mips)
+{
+    assert(mips > 0.0);
+    // P / TP^3: energy per instruction (P/TP) times the square of the
+    // time per instruction (1/TP)^2.
+    return powerW / (mips * mips * mips);
+}
+
+double
+weightedThroughput(const ChipCondition &cond,
+                   const std::vector<CoreWork> &work)
+{
+    double sum = 0.0;
+    for (std::size_t c = 0; c < work.size(); ++c) {
+        if (work[c].app == nullptr)
+            continue;
+        sum += cond.coreIpc[c] / work[c].app->ipcAt4GHz;
+    }
+    return sum;
+}
+
+double
+weightedProgress(const ChipCondition &cond,
+                 const std::vector<CoreWork> &work)
+{
+    double sum = 0.0;
+    for (std::size_t c = 0; c < work.size(); ++c) {
+        if (work[c].app == nullptr)
+            continue;
+        const double refIps = work[c].app->ipcAt4GHz * 4.0e9;
+        sum += cond.coreIpc[c] * cond.coreFreqHz[c] / refIps;
+    }
+    return sum;
+}
+
+double
+averageActiveFrequency(const ChipCondition &cond,
+                       const std::vector<CoreWork> &work)
+{
+    double sum = 0.0;
+    std::size_t active = 0;
+    for (std::size_t c = 0; c < work.size(); ++c) {
+        if (work[c].app == nullptr)
+            continue;
+        sum += cond.coreFreqHz[c];
+        ++active;
+    }
+    return active ? sum / static_cast<double>(active) : 0.0;
+}
+
+} // namespace varsched

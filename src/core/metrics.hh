@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Evaluation metrics of Section 6.6: throughput (MIPS), weighted
+ * throughput (per-application IPC normalised to its reference IPC, so
+ * low-intrinsic-IPC applications count equally), average frequency,
+ * total power, and the energy-delay-squared product.
+ *
+ * ED^2 is computed on a per-instruction basis: energy/instruction
+ * times (time/instruction)^2 = P / throughput^3 (up to constant
+ * factors that cancel in the relative comparisons the paper reports).
+ */
+
+#ifndef VARSCHED_CORE_METRICS_HH
+#define VARSCHED_CORE_METRICS_HH
+
+#include <vector>
+
+#include "chip/sensors.hh"
+
+namespace varsched
+{
+
+/** ED^2 per instruction, in J * s^2 / instr^3 scaled units. */
+double ed2Of(double powerW, double mips);
+
+/**
+ * Weighted throughput exactly as the paper defines it (Section 6.6,
+ * after Snavely-Tullsen): sum over threads of IPC normalised to the
+ * application's IPC at reference conditions (Table 5). This gives
+ * equal weight to every application regardless of its intrinsic IPC.
+ *
+ * Caveat (documented deviation): with per-core DVFS a memory-bound
+ * thread's per-cycle IPC *rises* when its clock drops, so this metric
+ * slightly credits downclocking such threads. weightedProgress() is
+ * the time-based variant that does not.
+ *
+ * @param cond Settled chip state.
+ * @param work Per-core workload (for the reference IPCs).
+ */
+double weightedThroughput(const ChipCondition &cond,
+                          const std::vector<CoreWork> &work);
+
+/**
+ * Progress-based weighted throughput: instructions per second now
+ * over instructions per second at reference conditions (IPC_ref at
+ * 4 GHz). Invariant to the per-cycle artifact above.
+ */
+double weightedProgress(const ChipCondition &cond,
+                        const std::vector<CoreWork> &work);
+
+/** Average operating frequency of the active cores, Hz. */
+double averageActiveFrequency(const ChipCondition &cond,
+                              const std::vector<CoreWork> &work);
+
+} // namespace varsched
+
+#endif // VARSCHED_CORE_METRICS_HH

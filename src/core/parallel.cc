@@ -1,0 +1,171 @@
+#include "core/parallel.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "solver/matrix.hh"
+#include "solver/simplex.hh"
+
+namespace varsched
+{
+
+double
+barrierSpeed(const ChipSnapshot &snap, const std::vector<int> &levels)
+{
+    assert(levels.size() == snap.cores.size());
+    double worst = 1e300;
+    for (std::size_t i = 0; i < snap.cores.size(); ++i) {
+        const auto l = static_cast<std::size_t>(levels[i]);
+        worst = std::min(worst, snap.cores[i].ipc[l] *
+                             snap.cores[i].freqHz[l] / 1.0e6);
+    }
+    return snap.cores.empty() ? 0.0 : worst;
+}
+
+std::vector<int>
+LinOptMaxMinManager::selectLevels(const ChipSnapshot &snap)
+{
+    const std::size_t n = snap.cores.size();
+    if (n == 0)
+        return {};
+
+    const std::size_t numLevels = snap.voltage.size();
+    const double vLow = snap.voltage.front();
+    const double vHigh = snap.voltage.back();
+    const double coreBudget = snap.ptargetW - snap.uncorePowerW;
+
+    // Same linear fits as LinOpt (core/linopt.cc).
+    std::vector<double> a(n), aIcept(n), b(n), c(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const CoreSnapshot &core = snap.cores[i];
+        std::vector<double> vs(snap.voltage.begin(), snap.voltage.end());
+        std::vector<double> fs(core.freqHz.begin(), core.freqHz.end());
+        const auto [fb, fc] = fitLine(vs, fs);
+        const double ipc = core.ipc[numLevels / 2];
+        a[i] = ipc * fb / 1.0e6;      // MIPS per volt
+        aIcept[i] = ipc * fc / 1.0e6; // MIPS at v = 0
+
+        std::vector<double> pv = {vs.front(), vs[numLevels / 2],
+                                  vs.back()};
+        std::vector<double> pw = {core.powerW.front(),
+                                  core.powerW[numLevels / 2],
+                                  core.powerW.back()};
+        const auto [pb, pc] = fitLine(pv, pw);
+        b[i] = pb;
+        c[i] = pc;
+    }
+
+    // LP variables: x_0..x_{n-1} = v_i - Vlow, x_n = t (worker pace).
+    LinearProgram lp;
+    lp.objective.assign(n + 1, 0.0);
+    lp.objective[n] = 1.0;
+
+    // t - a_i x_i <= a_i Vlow + icept_i  (worker i's pace bound).
+    for (std::size_t i = 0; i < n; ++i) {
+        std::vector<double> row(n + 1, 0.0);
+        row[i] = -a[i];
+        row[n] = 1.0;
+        lp.addRow(row, a[i] * vLow + aIcept[i]);
+    }
+
+    // Chip budget.
+    {
+        std::vector<double> row(n + 1, 0.0);
+        double rhs = coreBudget;
+        for (std::size_t i = 0; i < n; ++i) {
+            row[i] = b[i];
+            rhs -= b[i] * vLow + c[i];
+        }
+        lp.addRow(row, rhs);
+    }
+
+    // Per-core caps and voltage upper bounds.
+    for (std::size_t i = 0; i < n; ++i) {
+        std::vector<double> row(n + 1, 0.0);
+        row[i] = b[i];
+        lp.addRow(row, snap.pcoreMaxW - c[i] - b[i] * vLow);
+        row[i] = 1.0;
+        lp.addRow(row, vHigh - vLow);
+    }
+
+    const LpResult result = solveSimplex(lp);
+    std::vector<int> levels(n, 0);
+    if (result.status != LpResult::Status::Optimal)
+        return levels;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const double v = vLow + result.x[i];
+        for (std::size_t l = 0; l < numLevels; ++l) {
+            if (snap.voltage[l] <= v + 1e-9)
+                levels[i] = static_cast<int>(l);
+        }
+    }
+
+    // Sensor-guided repair (monitored powers, as in LinOpt):
+    // enforce caps, then budget by trimming the step that costs the
+    // barrier the least — i.e. the *fastest* worker steps down first.
+    auto corePower = [&](std::size_t i, int level) {
+        return snap.cores[i].powerW[static_cast<std::size_t>(level)];
+    };
+    auto coreMips = [&](std::size_t i, int level) {
+        const auto l = static_cast<std::size_t>(level);
+        return snap.cores[i].ipc[numLevels / 2] *
+            snap.cores[i].freqHz[l] / 1.0e6;
+    };
+    auto totalPower = [&]() {
+        double p = snap.uncorePowerW;
+        for (std::size_t i = 0; i < n; ++i)
+            p += corePower(i, levels[i]);
+        return p;
+    };
+
+    for (std::size_t i = 0; i < n; ++i) {
+        while (levels[i] > 0 && corePower(i, levels[i]) > snap.pcoreMaxW)
+            --levels[i];
+    }
+    while (totalPower() > snap.ptargetW) {
+        std::size_t fastest = n;
+        double best = -1.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (levels[i] == 0)
+                continue;
+            const double pace = coreMips(i, levels[i]);
+            if (pace > best) {
+                best = pace;
+                fastest = i;
+            }
+        }
+        if (fastest == n)
+            break;
+        --levels[fastest];
+    }
+
+    // Refill remaining slack on the *slowest* worker — the one gating
+    // the barrier.
+    for (;;) {
+        std::size_t slowest = n;
+        double worst = 1e300;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (levels[i] + 1 >= static_cast<int>(numLevels))
+                continue;
+            const double pace = coreMips(i, levels[i]);
+            if (pace < worst) {
+                worst = pace;
+                slowest = i;
+            }
+        }
+        if (slowest == n)
+            break;
+        const int next = levels[slowest] + 1;
+        const double dPower = corePower(slowest, next) -
+            corePower(slowest, levels[slowest]);
+        if (totalPower() + dPower > snap.ptargetW ||
+            corePower(slowest, next) > snap.pcoreMaxW) {
+            break;
+        }
+        levels[slowest] = next;
+    }
+    return levels;
+}
+
+} // namespace varsched

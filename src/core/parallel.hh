@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Parallel-application support — the paper's Section 8 lists
+ * "analyzing the impact of the algorithms on parallel applications"
+ * as planned work; this module provides it.
+ *
+ * A barrier-synchronised parallel application advances at the pace of
+ * its *slowest* worker (Balakrishnan et al.: heterogeneity destabilises
+ * parallel workloads). Throughput-sum optimisers like LinOpt are the
+ * wrong objective for such workloads: they starve workers on slow
+ * cores because boosting them buys little *sum* throughput, precisely
+ * the workers that gate the barrier.
+ *
+ * LinOptMaxMin keeps the paper's machinery — linear frequency and
+ * power fits, the Simplex method, sensor-guided discretisation — but
+ * optimises the max-min objective instead:
+ *
+ *    maximise t
+ *    s.t.     t <= ipc_i * f_i(v_i)          for every worker i
+ *             sum p_i(v_i) <= Ptarget,  p_i(v_i) <= Pcoremax
+ *             Vlow <= v_i <= Vhigh
+ *
+ * which is still a linear program in (v_1..v_n, t).
+ */
+
+#ifndef VARSCHED_CORE_PARALLEL_HH
+#define VARSCHED_CORE_PARALLEL_HH
+
+#include "core/pmalgo.hh"
+
+namespace varsched
+{
+
+/**
+ * Barrier-limited speed of an operating point: the minimum per-worker
+ * MIPS across the active cores (the whole gang moves at that pace).
+ */
+double barrierSpeed(const ChipSnapshot &snap,
+                    const std::vector<int> &levels);
+
+/** Max-min variant of LinOpt for barrier-synchronised workloads. */
+class LinOptMaxMinManager : public PowerManager
+{
+  public:
+    LinOptMaxMinManager() = default;
+
+    std::string name() const override { return "LinOptMaxMin"; }
+    std::vector<int> selectLevels(const ChipSnapshot &snap) override;
+};
+
+} // namespace varsched
+
+#endif // VARSCHED_CORE_PARALLEL_HH

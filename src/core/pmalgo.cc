@@ -1,0 +1,51 @@
+#include "core/pmalgo.hh"
+
+namespace varsched
+{
+
+std::vector<int>
+MaxLevelManager::selectLevels(const ChipSnapshot &snap)
+{
+    std::vector<int> levels;
+    levels.reserve(snap.cores.size());
+    for (const auto &core : snap.cores)
+        levels.push_back(static_cast<int>(core.freqHz.size()) - 1);
+    return levels;
+}
+
+std::vector<int>
+FoxtonStarManager::selectLevels(const ChipSnapshot &snap)
+{
+    const std::size_t n = snap.cores.size();
+    if (n == 0)
+        return {};
+
+    const int top = static_cast<int>(snap.voltage.size()) - 1;
+    std::vector<int> levels(n, top);
+
+    // First satisfy the per-core cap (local, no round-robin needed).
+    for (std::size_t i = 0; i < n; ++i) {
+        while (levels[i] > 0 &&
+               snap.cores[i].powerW[static_cast<std::size_t>(
+                   levels[i])] > snap.pcoreMaxW) {
+            --levels[i];
+        }
+    }
+
+    // Then reduce cores one step at a time, round-robin, until the
+    // chip-wide budget is met or everything sits at the bottom.
+    std::size_t cursor = 0;
+    std::size_t stuck = 0;
+    while (snap.powerAt(levels) > snap.ptargetW && stuck < n) {
+        if (levels[cursor] > 0) {
+            --levels[cursor];
+            stuck = 0;
+        } else {
+            ++stuck;
+        }
+        cursor = (cursor + 1) % n;
+    }
+    return levels;
+}
+
+} // namespace varsched

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Power-management algorithm interface and the Foxton* baseline.
+ *
+ * A PowerManager receives the sensor/profile snapshot (what the chip
+ * is allowed to know; see chip/sensors.hh) and returns one voltage
+ * level per active core. Foxton* is the paper's baseline: a small
+ * extension of the Itanium II Foxton controller that, instead of
+ * moving both cores together, walks the active cores round-robin,
+ * reducing one (V, f) step at a time until the chip-wide Ptarget and
+ * the per-core Pcoremax are both met.
+ */
+
+#ifndef VARSCHED_CORE_PMALGO_HH
+#define VARSCHED_CORE_PMALGO_HH
+
+#include <string>
+#include <vector>
+
+#include "chip/sensors.hh"
+
+namespace varsched
+{
+
+/**
+ * What the optimising power managers maximise. Fig 11 uses raw
+ * throughput; Fig 13 re-runs the same experiment "with weighted
+ * throughput as the optimization goal".
+ */
+enum class PmObjective
+{
+    Throughput, ///< Sum of MIPS.
+    Weighted,   ///< Sum of MIPS / per-thread reference MIPS.
+};
+
+/** Strategy interface for per-core DVFS selection. */
+class PowerManager
+{
+  public:
+    virtual ~PowerManager() = default;
+
+    /** Algorithm name for reports. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Choose a voltage level for every active core.
+     *
+     * @param snap Sensor/profile view of the chip.
+     * @return One level per snap.cores entry.
+     */
+    virtual std::vector<int> selectLevels(const ChipSnapshot &snap) = 0;
+};
+
+/** No power management: every core at the top level (NUniFreq). */
+class MaxLevelManager : public PowerManager
+{
+  public:
+    std::string name() const override { return "MaxLevel"; }
+    std::vector<int> selectLevels(const ChipSnapshot &snap) override;
+};
+
+/**
+ * Foxton*: round-robin single-step reduction from the top levels
+ * until the power constraints are satisfied (Table 1, bottom).
+ */
+class FoxtonStarManager : public PowerManager
+{
+  public:
+    std::string name() const override { return "Foxton*"; }
+    std::vector<int> selectLevels(const ChipSnapshot &snap) override;
+};
+
+} // namespace varsched
+
+#endif // VARSCHED_CORE_PMALGO_HH

@@ -1,0 +1,105 @@
+#include "core/sann.hh"
+
+#include <algorithm>
+
+#include "solver/annealing.hh"
+
+namespace varsched
+{
+
+SAnnManager::SAnnManager(const SAnnConfig &config) : config_(config)
+{
+}
+
+std::vector<int>
+SAnnManager::selectLevels(const ChipSnapshot &snap)
+{
+    const std::size_t n = snap.cores.size();
+    lastEvals_ = 0;
+    if (n == 0)
+        return {};
+
+    const int numLevels = static_cast<int>(snap.voltage.size());
+
+    // Greedy initial state: top levels, then per-core cap, then
+    // round-robin down to the budget (the Foxton*-style heuristic the
+    // paper seeds SAnn with).
+    std::vector<int> initial(n, numLevels - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+        while (initial[i] > 0 &&
+               snap.cores[i].powerW[static_cast<std::size_t>(
+                   initial[i])] > snap.pcoreMaxW) {
+            --initial[i];
+        }
+    }
+    std::size_t cursor = 0, stuck = 0;
+    while (snap.powerAt(initial) > snap.ptargetW && stuck < n) {
+        if (initial[cursor] > 0) {
+            --initial[cursor];
+            stuck = 0;
+        } else {
+            ++stuck;
+        }
+        cursor = (cursor + 1) % n;
+    }
+
+    // Energy: -throughput (kMIPS) plus steep penalties for violating
+    // the chip or per-core budgets, so infeasible states are passable
+    // but never optimal. The best *feasible* state visited is tracked
+    // on the side — the chain's lowest-energy state may carry a tiny
+    // violation, which a real controller cannot deploy.
+    std::vector<int> bestFeasible;
+    double bestFeasibleMips = -1.0;
+    // Weighted mode scores normalised progress; rescale it into the
+    // same numeric range as kMIPS so the annealing temperature and
+    // penalty weights keep their meaning.
+    const bool weighted = config_.objective == PmObjective::Weighted;
+    const auto objective = [&](const std::vector<int> &levels) {
+        return weighted ? snap.weightedAt(levels) * 2000.0
+                        : snap.mipsAt(levels);
+    };
+    const auto energy = [&](const std::vector<int> &levels) {
+        const double mips = objective(levels);
+        double e = -mips / 1000.0;
+        bool feasible = true;
+        const double power = snap.powerAt(levels);
+        if (power > snap.ptargetW) {
+            e += (power - snap.ptargetW) * config_.penaltyPerWatt;
+            feasible = false;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            const double cp = snap.cores[i].powerW[
+                static_cast<std::size_t>(levels[i])];
+            if (cp > snap.pcoreMaxW) {
+                e += (cp - snap.pcoreMaxW) * config_.penaltyPerWatt;
+                feasible = false;
+            }
+        }
+        if (feasible && mips > bestFeasibleMips) {
+            bestFeasibleMips = mips;
+            bestFeasible = levels;
+        }
+        return e;
+    };
+
+    AnnealOptions opts;
+    opts.maxEvals = config_.maxEvals;
+    // The paper raises the initial AT with problem complexity.
+    opts.initialTemp = config_.tempPerThread * static_cast<double>(n);
+    opts.seed = config_.seed;
+
+    const std::vector<int> levelBounds(n, numLevels);
+    AnnealResult result =
+        annealMinimize(initial, levelBounds, energy, opts);
+    lastEvals_ = result.evals;
+
+    if (snap.feasible(result.best))
+        return result.best;
+    // Chain optimum carries a violation: deploy the best feasible
+    // state actually visited, or the greedy seed as a last resort.
+    if (!bestFeasible.empty())
+        return bestFeasible;
+    return initial;
+}
+
+} // namespace varsched

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * SAnn: simulated-annealing power management (Sections 4.3.2 / 6.5).
+ *
+ * Same goal as LinOpt — maximise throughput under Ptarget and
+ * Pcoremax — but searched with simulated annealing over the discrete
+ * per-core voltage-level space, evaluating power *accurately* at
+ * every level (no linear approximation). The initial state comes from
+ * a simple greedy heuristic and the initial annealing temperature
+ * scales with thread count, per the paper. SAnn is the quality
+ * yardstick for LinOpt; it costs orders of magnitude more compute
+ * (Fig 15 vs the SAnn timing bench).
+ */
+
+#ifndef VARSCHED_CORE_SANN_HH
+#define VARSCHED_CORE_SANN_HH
+
+#include <cstdint>
+
+#include "core/pmalgo.hh"
+
+namespace varsched
+{
+
+/** SAnn tuning. */
+struct SAnnConfig
+{
+    /**
+     * Objective evaluations per invocation. The paper runs 1e6;
+     * the default here keeps multi-hundred-run experiments tractable
+     * while staying within ~1% of the 1e6 result (see tests).
+     */
+    std::size_t maxEvals = 20000;
+    /** Initial annealing temperature per thread (kMIPS units). */
+    double tempPerThread = 0.4;
+    /** Penalty weight for power violations, kMIPS per watt. */
+    double penaltyPerWatt = 50.0;
+    /** Seed for the annealing chain. */
+    std::uint64_t seed = 0xA55;
+    /** What to maximise (Fig 11: Throughput; Fig 13: Weighted). */
+    PmObjective objective = PmObjective::Throughput;
+};
+
+/** The SAnn power manager. */
+class SAnnManager : public PowerManager
+{
+  public:
+    explicit SAnnManager(const SAnnConfig &config = {});
+
+    std::string name() const override { return "SAnn"; }
+    std::vector<int> selectLevels(const ChipSnapshot &snap) override;
+
+    /** Evaluations consumed by the last invocation. */
+    std::size_t lastEvals() const { return lastEvals_; }
+
+  private:
+    SAnnConfig config_;
+    std::size_t lastEvals_ = 0;
+};
+
+} // namespace varsched
+
+#endif // VARSCHED_CORE_SANN_HH

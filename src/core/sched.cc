@@ -1,0 +1,163 @@
+#include "core/sched.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace varsched
+{
+
+const char *
+schedAlgoName(SchedAlgo algo)
+{
+    switch (algo) {
+      case SchedAlgo::Random: return "Random";
+      case SchedAlgo::VarP: return "VarP";
+      case SchedAlgo::VarPAppP: return "VarP&AppP";
+      case SchedAlgo::VarF: return "VarF";
+      case SchedAlgo::VarFAppIPC: return "VarF&AppIPC";
+      case SchedAlgo::ThermalAware: return "ThermalAware";
+      default: return "?";
+    }
+}
+
+std::vector<std::size_t>
+sortedIndices(const std::vector<double> &values, bool descending)
+{
+    std::vector<std::size_t> idx(values.size());
+    std::iota(idx.begin(), idx.end(), 0);
+    std::stable_sort(idx.begin(), idx.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return descending ? values[a] > values[b]
+                                           : values[a] < values[b];
+                     });
+    return idx;
+}
+
+namespace
+{
+
+/** Fisher-Yates shuffle with our Rng. */
+template <typename T>
+void
+shuffle(std::vector<T> &v, Rng &rng)
+{
+    for (std::size_t i = v.size(); i > 1; --i)
+        std::swap(v[i - 1], v[rng.below(i)]);
+}
+
+/**
+ * Profiled thread metric (Section 5.2): the profile value observed
+ * through one sensor-read with ~2% measurement noise; only the
+ * *ranking* matters, and that survives the noise.
+ */
+double
+profiled(double value, Rng &rng)
+{
+    return value * (1.0 + 0.02 * rng.normal());
+}
+
+} // namespace
+
+std::vector<std::size_t>
+scheduleThreads(SchedAlgo algo, const Die &die,
+                const std::vector<const AppProfile *> &threads, Rng &rng)
+{
+    const std::size_t numThreads = threads.size();
+    const std::size_t numCores = die.numCores();
+    assert(numThreads <= numCores);
+
+    // Rank cores by the manufacturer-profile criterion.
+    std::vector<std::size_t> corePool;
+    switch (algo) {
+      case SchedAlgo::ThermalAware: // needs temps; see the thermal
+                                    // entry point. Cold start: Random.
+      case SchedAlgo::Random: {
+        corePool.resize(numCores);
+        std::iota(corePool.begin(), corePool.end(), 0);
+        shuffle(corePool, rng);
+        break;
+      }
+      case SchedAlgo::VarP:
+      case SchedAlgo::VarPAppP: {
+        std::vector<double> staticPower(numCores);
+        for (std::size_t c = 0; c < numCores; ++c)
+            staticPower[c] = die.staticPowerAt(c, die.maxLevel());
+        corePool = sortedIndices(staticPower, /*descending=*/false);
+        break;
+      }
+      case SchedAlgo::VarF:
+      case SchedAlgo::VarFAppIPC: {
+        std::vector<double> fmax(numCores);
+        for (std::size_t c = 0; c < numCores; ++c)
+            fmax[c] = die.maxFreq(c);
+        corePool = sortedIndices(fmax, /*descending=*/true);
+        break;
+      }
+    }
+    corePool.resize(numThreads);
+
+    // Order threads onto the selected cores.
+    std::vector<std::size_t> threadOrder(numThreads);
+    std::iota(threadOrder.begin(), threadOrder.end(), 0);
+    switch (algo) {
+      case SchedAlgo::ThermalAware:
+      case SchedAlgo::Random:
+      case SchedAlgo::VarP:
+      case SchedAlgo::VarF:
+        // Random placement within the selected core pool.
+        shuffle(threadOrder, rng);
+        break;
+      case SchedAlgo::VarPAppP: {
+        // Highest dynamic power -> lowest static power core.
+        std::vector<double> dynPower(numThreads);
+        for (std::size_t t = 0; t < numThreads; ++t)
+            dynPower[t] = profiled(threads[t]->dynPowerW, rng);
+        threadOrder = sortedIndices(dynPower, /*descending=*/true);
+        break;
+      }
+      case SchedAlgo::VarFAppIPC: {
+        // Highest IPC -> highest frequency core.
+        std::vector<double> ipc(numThreads);
+        for (std::size_t t = 0; t < numThreads; ++t)
+            ipc[t] = profiled(threads[t]->ipcAt4GHz, rng);
+        threadOrder = sortedIndices(ipc, /*descending=*/true);
+        break;
+      }
+    }
+
+    std::vector<std::size_t> assignment(numThreads);
+    for (std::size_t slot = 0; slot < numThreads; ++slot)
+        assignment[threadOrder[slot]] = corePool[slot];
+    return assignment;
+}
+
+std::vector<std::size_t>
+scheduleThreadsThermal(const Die &die,
+                       const std::vector<const AppProfile *> &threads,
+                       const std::vector<double> &coreTempC, Rng &rng)
+{
+    const std::size_t numThreads = threads.size();
+    assert(numThreads <= die.numCores());
+    assert(coreTempC.size() == die.numCores());
+
+    // Coolest cores first; hottest threads onto the coolest cores.
+    // Unlike VarP this ranking is *dynamic*: as the previously-loaded
+    // cores heat up, the next interval picks different cores, which
+    // is exactly the activity migration of Heo et al. the paper's
+    // Section 8 proposes.
+    auto corePool = sortedIndices(coreTempC, /*descending=*/false);
+    corePool.resize(numThreads);
+
+    std::vector<double> dynPower(numThreads);
+    for (std::size_t t = 0; t < numThreads; ++t)
+        dynPower[t] = threads[t]->dynPowerW * (1.0 + 0.02 * rng.normal());
+    const auto threadOrder = sortedIndices(dynPower, /*descending=*/true);
+
+    std::vector<std::size_t> assignment(numThreads);
+    for (std::size_t slot = 0; slot < numThreads; ++slot)
+        assignment[threadOrder[slot]] = corePool[slot];
+    return assignment;
+}
+
+} // namespace varsched

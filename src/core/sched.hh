@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Variation-aware application scheduling algorithms (Table 1, top and
+ * middle):
+ *
+ *  - Random: threads on random cores (the paper's baseline).
+ *  - VarP: random threads onto the N lowest-static-power cores.
+ *  - VarP&AppP: highest-dynamic-power threads onto lowest-static-power
+ *    cores ("even out" power, avoid hot spots).
+ *  - VarF: random threads onto the N highest-frequency cores.
+ *  - VarF&AppIPC: highest-IPC threads onto highest-frequency cores
+ *    (low-IPC threads are memory-bound and benefit less from fast
+ *    cores).
+ *
+ * Core rankings come from the manufacturer profile in the Die; thread
+ * rankings come from profiling each thread on one core (Section 5.2),
+ * modelled as the profile value plus small measurement noise.
+ */
+
+#ifndef VARSCHED_CORE_SCHED_HH
+#define VARSCHED_CORE_SCHED_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "chip/die.hh"
+#include "cmpsim/workload.hh"
+#include "solver/rng.hh"
+
+namespace varsched
+{
+
+/** Scheduling algorithms of Table 1, plus the Section 8 extension. */
+enum class SchedAlgo
+{
+    Random,
+    VarP,
+    VarPAppP,
+    VarF,
+    VarFAppIPC,
+    /**
+     * Section 8 extension: temperature-aware mapping with activity
+     * migration — at every OS interval, map the highest-power threads
+     * onto the currently *coolest* cores. Because core temperatures
+     * evolve, the hot set rotates and threads migrate, evening out
+     * the thermal (and wearout) load across the die.
+     */
+    ThermalAware,
+};
+
+/** Human-readable algorithm name. */
+const char *schedAlgoName(SchedAlgo algo);
+
+/**
+ * Assign threads to cores.
+ *
+ * @param algo Algorithm from Table 1.
+ * @param die Manufacturer profile (per-core static power / fmax).
+ * @param threads One profile per thread;
+ *        @pre threads.size() <= die.numCores().
+ * @param rng Stream for random placement and profiling noise.
+ * @return For each thread, the core it runs on (distinct cores).
+ */
+std::vector<std::size_t> scheduleThreads(
+    SchedAlgo algo, const Die &die,
+    const std::vector<const AppProfile *> &threads, Rng &rng);
+
+/**
+ * Temperature-aware variant (SchedAlgo::ThermalAware): in addition to
+ * the manufacturer profile, consumes the current per-core temperature
+ * readings and maps the highest-dynamic-power threads onto the
+ * coolest cores.
+ *
+ * @param coreTempC Current temperature of every core on the die.
+ */
+std::vector<std::size_t> scheduleThreadsThermal(
+    const Die &die, const std::vector<const AppProfile *> &threads,
+    const std::vector<double> &coreTempC, Rng &rng);
+
+/**
+ * Rank helper exposed for tests: indices of @p values sorted
+ * ascending (stable).
+ */
+std::vector<std::size_t> sortedIndices(const std::vector<double> &values,
+                                       bool descending = false);
+
+} // namespace varsched
+
+#endif // VARSCHED_CORE_SCHED_HH

@@ -1,0 +1,256 @@
+#include "core/system.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "core/exhaustive.hh"
+#include "core/linopt.hh"
+#include "core/metrics.hh"
+#include "core/parallel.hh"
+#include "core/sann.hh"
+#include "reliability/wearout.hh"
+
+namespace varsched
+{
+
+const char *
+pmKindName(PmKind kind)
+{
+    switch (kind) {
+      case PmKind::None: return "None";
+      case PmKind::FoxtonStar: return "Foxton*";
+      case PmKind::LinOpt: return "LinOpt";
+      case PmKind::SAnn: return "SAnn";
+      case PmKind::Exhaustive: return "Exhaustive";
+      case PmKind::LinOptMaxMin: return "LinOptMaxMin";
+      default: return "?";
+    }
+}
+
+std::unique_ptr<PowerManager>
+makePowerManager(PmKind kind, std::size_t sannEvals, std::uint64_t seed,
+                 PmObjective objective)
+{
+    switch (kind) {
+      case PmKind::None:
+        return std::make_unique<MaxLevelManager>();
+      case PmKind::FoxtonStar:
+        return std::make_unique<FoxtonStarManager>();
+      case PmKind::LinOpt: {
+        LinOptConfig config;
+        config.objective = objective;
+        return std::make_unique<LinOptManager>(config);
+      }
+      case PmKind::SAnn: {
+        SAnnConfig config;
+        config.maxEvals = sannEvals;
+        config.seed = seed;
+        config.objective = objective;
+        return std::make_unique<SAnnManager>(config);
+      }
+      case PmKind::Exhaustive:
+        return std::make_unique<ExhaustiveManager>(20'000'000,
+                                                   objective);
+      case PmKind::LinOptMaxMin:
+        return std::make_unique<LinOptMaxMinManager>();
+    }
+    return nullptr;
+}
+
+SystemSimulator::SystemSimulator(const Die &die,
+                                 std::vector<const AppProfile *> apps,
+                                 const SystemConfig &config)
+    : die_(die), apps_(std::move(apps)), config_(config),
+      evaluator_(die)
+{
+    assert(apps_.size() <= die_.numCores());
+    assert(!apps_.empty());
+    manager_ = makePowerManager(config_.pm, config_.sannEvals,
+                                config_.seed ^ 0x5A5A,
+                                config_.pmObjective);
+}
+
+SystemResult
+SystemSimulator::run()
+{
+    const std::size_t numCores = die_.numCores();
+    const std::size_t numThreads = apps_.size();
+
+    Rng rng(config_.seed);
+    Rng noiseRng = rng.fork(0xDEAD);
+
+    const double pcoreMax = config_.pcoreMaxW > 0.0
+        ? config_.pcoreMaxW
+        : 2.0 * config_.ptargetW / static_cast<double>(numThreads);
+
+    // Per-thread phase sequencers.
+    std::vector<PhaseSequencer> phases;
+    phases.reserve(numThreads);
+    for (std::size_t t = 0; t < numThreads; ++t)
+        phases.emplace_back(*apps_[t], rng.fork(100 + t));
+
+    const double uniFreq =
+        config_.uniformFrequency ? die_.uniformFreq() : 0.0;
+
+    std::vector<std::size_t> assignment; // thread -> core
+    std::vector<CoreWork> work(numCores);
+    std::vector<int> coreLevels(numCores,
+                                static_cast<int>(die_.maxLevel()));
+    ChipCondition cond;
+    bool haveCondition = false;
+
+    auto refreshWork = [&]() {
+        for (auto &w : work)
+            w = CoreWork{};
+        for (std::size_t t = 0; t < numThreads; ++t) {
+            const Phase &ph = phases[t].current();
+            CoreWork w;
+            w.app = apps_[t];
+            w.cpiScale = ph.cpiScale;
+            w.missScale = ph.missScale;
+            w.activityScale = ph.activityScale;
+            work[assignment[t]] = w;
+        }
+    };
+
+    SystemResult result;
+    double sumMips = 0.0, sumWeighted = 0.0, sumProgress = 0.0,
+           sumPower = 0.0, sumMinThread = 0.0;
+    double sumFreq = 0.0, sumDev = 0.0;
+    std::size_t ticks = 0;
+    long transitionSteps = 0;
+    double transitionLostMipsMs = 0.0;
+
+    const WearoutModel wearoutModel;
+    WearoutTracker wearout(wearoutModel, numCores);
+    std::vector<double> coreVdd(numCores, 0.0);
+
+    const auto totalTicks = static_cast<std::size_t>(
+        std::llround(config_.durationMs / config_.tickMs));
+    const auto osPeriod = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::llround(config_.osIntervalMs / config_.tickMs)));
+    const auto dvfsPeriod = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::llround(config_.dvfsIntervalMs / config_.tickMs)));
+
+    for (std::size_t tick = 0; tick < totalTicks; ++tick) {
+        // OS scheduling interval: revisit thread placement. The
+        // ThermalAware extension consumes the live temperature map
+        // (activity migration); cold start falls back to Random.
+        if (tick % osPeriod == 0) {
+            if (config_.sched == SchedAlgo::ThermalAware &&
+                haveCondition) {
+                assignment = scheduleThreadsThermal(
+                    die_, apps_, cond.coreTempC, rng);
+            } else {
+                assignment =
+                    scheduleThreads(config_.sched, die_, apps_, rng);
+            }
+            refreshWork();
+            if (!haveCondition) {
+                cond = evaluator_.evaluate(work, coreLevels, uniFreq);
+                haveCondition = true;
+            }
+        }
+        refreshWork();
+
+        // DVFS interval: re-run the power manager on fresh sensors.
+        if (config_.pm != PmKind::None && tick % dvfsPeriod == 0) {
+            const ChipSnapshot snap = buildSnapshot(
+                evaluator_, work, cond, config_.ptargetW, pcoreMax,
+                config_.sensorNoise ? &noiseRng : nullptr);
+            const std::vector<int> active =
+                manager_->selectLevels(snap);
+            for (std::size_t i = 0; i < snap.cores.size(); ++i) {
+                const std::size_t core = snap.cores[i].coreId;
+                transitionSteps +=
+                    std::abs(active[i] - coreLevels[core]);
+                coreLevels[core] = active[i];
+            }
+        }
+
+        // Physics + metrics for this tick.
+        if (config_.transientThermal) {
+            cond = evaluator_.evaluateTransient(
+                work, coreLevels, cond, config_.tickMs, uniFreq);
+        } else {
+            cond = evaluator_.evaluate(work, coreLevels, uniFreq);
+        }
+
+        // Voltage-transition stall: each changed step blocks its core
+        // for transitionUsPerStep; charge the chip-average MIPS for
+        // the blocked time within this tick.
+        if (transitionSteps > 0 && config_.transitionUsPerStep > 0.0) {
+            const double stallMs = std::min(
+                config_.tickMs,
+                static_cast<double>(transitionSteps) *
+                    config_.transitionUsPerStep * 1e-3 /
+                    static_cast<double>(numThreads));
+            transitionLostMipsMs += cond.totalMips * stallMs;
+            cond.totalMips *= 1.0 - stallMs / config_.tickMs;
+        }
+        transitionSteps = 0;
+
+        double minThread = 1e300;
+        for (std::size_t c = 0; c < numCores; ++c) {
+            if (work[c].app != nullptr)
+                minThread = std::min(minThread, cond.coreMips[c]);
+        }
+        sumMinThread += minThread;
+
+        const double weighted = weightedThroughput(cond, work);
+        sumMips += cond.totalMips;
+        sumWeighted += weighted;
+        sumProgress += weightedProgress(cond, work);
+        sumPower += cond.totalPowerW;
+        sumFreq += averageActiveFrequency(cond, work);
+        for (std::size_t c = 0; c < numCores; ++c)
+            result.maxCoreTempC = std::max(result.maxCoreTempC,
+                                           cond.coreTempC[c]);
+        if (config_.pm != PmKind::None) {
+            sumDev += std::abs(cond.totalPowerW - config_.ptargetW) /
+                config_.ptargetW;
+        }
+        result.powerTrace.push_back(cond.totalPowerW);
+        result.energyJ += cond.totalPowerW * config_.tickMs * 1e-3;
+        result.instructions +=
+            cond.totalMips * 1.0e6 * config_.tickMs * 1e-3;
+        ++ticks;
+
+        // Wearout accounting at the settled operating point.
+        for (std::size_t c = 0; c < numCores; ++c) {
+            coreVdd[c] = work[c].app != nullptr
+                ? die_.voltage(static_cast<std::size_t>(coreLevels[c]))
+                : 0.0;
+        }
+        wearout.accumulate(cond.coreTempC, coreVdd, config_.tickMs);
+
+        // Phase drift.
+        for (auto &seq : phases)
+            seq.advance(config_.tickMs);
+    }
+
+    const double n = static_cast<double>(ticks);
+    result.avgMips = sumMips / n;
+    result.avgMinThreadMips = sumMinThread / n;
+    result.avgWeightedIpc = sumWeighted / n;
+    result.avgWeightedProgress = sumProgress / n;
+    result.avgPowerW = sumPower / n;
+    result.avgFreqHz = sumFreq / n;
+    result.powerDeviation =
+        config_.pm != PmKind::None ? sumDev / n : 0.0;
+    result.ed2 = ed2Of(result.avgPowerW, result.avgMips);
+    result.weightedEd2 =
+        ed2Of(result.avgPowerW, result.avgWeightedIpc);
+    result.worstAgingRate = wearout.worstRate();
+    result.projectedLifetimeYears = wearout.projectedLifetimeYears();
+    result.transitionLossFraction = sumMips > 0.0
+        ? transitionLostMipsMs / (sumMips * config_.tickMs +
+                                  transitionLostMipsMs)
+        : 0.0;
+    return result;
+}
+
+} // namespace varsched

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * The CMP runtime of Section 5 / Fig 2: at every OS scheduling
+ * interval the supervisor revisits the thread-to-core mapping with
+ * one of the Table 1 algorithms; at every (shorter) DVFS interval the
+ * power manager re-reads the sensors and re-selects per-core (V, f)
+ * pairs. Between decision points, application phases drift, the chip
+ * is settled physically every millisecond, and metrics accumulate.
+ *
+ * Supports all three configurations of Table 2:
+ *  - UniFreq        (uniform frequency, no DVFS)
+ *  - NUniFreq       (per-core maximum frequency, no DVFS)
+ *  - NUniFreq+DVFS  (per-core frequency with a power manager)
+ */
+
+#ifndef VARSCHED_CORE_SYSTEM_HH
+#define VARSCHED_CORE_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "chip/sensors.hh"
+#include "core/pmalgo.hh"
+#include "core/sched.hh"
+
+namespace varsched
+{
+
+/** Power-manager selection for a system run. */
+enum class PmKind
+{
+    None,       ///< No DVFS: all cores at the top level.
+    FoxtonStar, ///< Round-robin reduction baseline.
+    LinOpt,     ///< Linear-programming manager.
+    SAnn,       ///< Simulated-annealing manager.
+    Exhaustive, ///< Brute force (<= 4 threads).
+    LinOptMaxMin, ///< Max-min LP for barrier gangs (extension).
+};
+
+/** Human-readable power-manager name. */
+const char *pmKindName(PmKind kind);
+
+/** Configuration of one system run. */
+struct SystemConfig
+{
+    SchedAlgo sched = SchedAlgo::Random;
+    PmKind pm = PmKind::None;
+
+    /** Chip-wide power budget, W (ignored when pm == None). */
+    double ptargetW = 75.0;
+    /**
+     * Per-core cap, W; <= 0 derives the default 2 * Ptarget / threads
+     * (the paper uses a per-core cap but gives no number).
+     */
+    double pcoreMaxW = 0.0;
+
+    /** All cores clocked at the slowest core's fmax (UniFreq). */
+    bool uniformFrequency = false;
+
+    double osIntervalMs = 100.0; ///< Scheduler period (Fig 2).
+    double dvfsIntervalMs = 10.0; ///< Power-manager period (Fig 2).
+    double tickMs = 1.0;          ///< Physics/metrics step.
+    double durationMs = 300.0;    ///< Simulated time.
+
+    /** Sensor noise on snapshot readings (0 disables). */
+    bool sensorNoise = true;
+
+    /**
+     * Thermal mode: false (default) settles the steady-state
+     * leakage-temperature fixed point every tick; true integrates
+     * the thermal RC network transiently between ticks, capturing
+     * the silicon/package time constants (slower to warm, slower to
+     * cool). The steady-state mode matches the paper's HotSpot usage
+     * at its 10 ms-and-up decision timescales.
+     */
+    bool transientThermal = false;
+
+    /** SAnn evaluation budget (when pm == SAnn). */
+    std::size_t sannEvals = 20000;
+
+    /** Objective the optimising managers maximise (Fig 13 uses
+     *  Weighted). */
+    PmObjective pmObjective = PmObjective::Throughput;
+
+    /**
+     * Voltage-regulator transition time per voltage step, in
+     * microseconds. Off-chip regulators (the paper's conservative
+     * Xscale-era assumption) take tens of microseconds per step;
+     * Kim-et-al.-style on-chip regulators take ~0.1 us. A core stalls
+     * for its transition time after each DVFS change, charging the
+     * throughput for level changes. 0 disables the overhead.
+     */
+    double transitionUsPerStep = 10.0;
+
+    /** Seed for placement, phases, noise, and SAnn. */
+    std::uint64_t seed = 1;
+};
+
+/** Aggregated outcome of one system run. */
+struct SystemResult
+{
+    double avgMips = 0.0;        ///< Time-averaged total MIPS.
+    /**
+     * Time-averaged MIPS of the *slowest* active thread — the pace a
+     * barrier-synchronised gang would make (extension; see
+     * core/parallel.hh).
+     */
+    double avgMinThreadMips = 0.0;
+    double avgWeightedIpc = 0.0; ///< Time-avg weighted IPC (paper).
+    double avgWeightedProgress = 0.0; ///< Time-avg progress variant.
+    double avgPowerW = 0.0;      ///< Time-averaged chip power.
+    double avgFreqHz = 0.0;      ///< Avg frequency of active cores.
+    double maxCoreTempC = 0.0;   ///< Hottest core-sample seen.
+    double energyJ = 0.0;        ///< Integrated energy.
+    double instructions = 0.0;   ///< Integrated instruction count.
+    double ed2 = 0.0;            ///< P/TP^3 on run averages.
+    double weightedEd2 = 0.0;    ///< P/weightedTP^3.
+    /**
+     * Mean |power - Ptarget| / Ptarget over the run, sampled per
+     * tick (Fig 14's deviation metric). 0 when pm == None.
+     */
+    double powerDeviation = 0.0;
+    /** Per-tick chip power trace, W. */
+    std::vector<double> powerTrace;
+    /**
+     * Worst core's time-averaged aging rate (1.0 = nominal wear at
+     * the 60 C / 1 V reference; see reliability/wearout.hh).
+     */
+    double worstAgingRate = 0.0;
+    /** Projected chip lifetime under this policy, years. */
+    double projectedLifetimeYears = 0.0;
+    /** Throughput lost to voltage-transition stalls, fraction. */
+    double transitionLossFraction = 0.0;
+};
+
+/** Drives one workload on one die under one configuration. */
+class SystemSimulator
+{
+  public:
+    /**
+     * @param die The manufactured die to run on.
+     * @param apps One profile per thread;
+     *        @pre apps.size() <= die.numCores().
+     * @param config Run configuration.
+     */
+    SystemSimulator(const Die &die,
+                    std::vector<const AppProfile *> apps,
+                    const SystemConfig &config);
+
+    /** Run the configured duration and aggregate the metrics. */
+    SystemResult run();
+
+  private:
+    const Die &die_;
+    std::vector<const AppProfile *> apps_;
+    SystemConfig config_;
+    ChipEvaluator evaluator_;
+    std::unique_ptr<PowerManager> manager_;
+};
+
+/** Instantiate a power manager by kind (seeded where relevant). */
+std::unique_ptr<PowerManager> makePowerManager(
+    PmKind kind, std::size_t sannEvals, std::uint64_t seed,
+    PmObjective objective = PmObjective::Throughput);
+
+} // namespace varsched
+
+#endif // VARSCHED_CORE_SYSTEM_HH

@@ -1,0 +1,123 @@
+#include "floorplan/floorplan.hh"
+
+#include <cassert>
+#include <cmath>
+
+namespace varsched
+{
+
+namespace
+{
+
+/**
+ * Relative geometry of the functional units inside one core tile,
+ * loosely following an Alpha 21264 floorplan: caches on the outer
+ * edges, execution units in the middle. Fractions of the core tile.
+ */
+struct UnitLayout
+{
+    CoreUnit unit;
+    double x, y, w, h;
+};
+
+constexpr UnitLayout kUnitLayouts[kNumCoreUnits] = {
+    {CoreUnit::L1I,       0.00, 0.75, 1.00, 0.25},
+    {CoreUnit::Fetch,     0.00, 0.55, 0.50, 0.20},
+    {CoreUnit::Decode,    0.50, 0.55, 0.50, 0.20},
+    {CoreUnit::RegFile,   0.00, 0.40, 0.40, 0.15},
+    {CoreUnit::IntExec,   0.40, 0.40, 0.35, 0.15},
+    {CoreUnit::FpExec,    0.75, 0.40, 0.25, 0.15},
+    {CoreUnit::LoadStore, 0.00, 0.25, 1.00, 0.15},
+    {CoreUnit::L1D,       0.00, 0.00, 1.00, 0.25},
+};
+
+} // namespace
+
+const char *
+coreUnitName(CoreUnit unit)
+{
+    switch (unit) {
+      case CoreUnit::Fetch: return "Fetch";
+      case CoreUnit::Decode: return "Decode";
+      case CoreUnit::RegFile: return "RegFile";
+      case CoreUnit::IntExec: return "IntExec";
+      case CoreUnit::FpExec: return "FpExec";
+      case CoreUnit::LoadStore: return "LoadStore";
+      case CoreUnit::L1I: return "L1I";
+      case CoreUnit::L1D: return "L1D";
+      default: return "?";
+    }
+}
+
+Floorplan::Floorplan(std::size_t numCores, double dieAreaMm2)
+    : numCores_(numCores), dieAreaMm2_(dieAreaMm2)
+{
+    assert(numCores_ >= 1);
+
+    // Cores in a near-square grid over the lower 80% of the die; the
+    // two L2 stripes share the top 20% (Fig 3 shows the 20-core case
+    // as 5 columns x 4 rows).
+    const auto numCols = static_cast<std::size_t>(
+        std::ceil(std::sqrt(static_cast<double>(numCores_))));
+    const std::size_t numRows = (numCores_ + numCols - 1) / numCols;
+
+    const double coreBandHeight = 0.8;
+    const double tileW = 1.0 / static_cast<double>(numCols);
+    const double tileH = coreBandHeight / static_cast<double>(numRows);
+
+    coreRects_.resize(numCores_);
+    unitRects_.assign(numCores_, std::vector<Rect>(kNumCoreUnits));
+    coreBlocks_.assign(numCores_, {});
+
+    for (std::size_t id = 0; id < numCores_; ++id) {
+        const std::size_t row = id / numCols;
+        const std::size_t col = id % numCols;
+        Rect tile;
+        tile.x = static_cast<double>(col) * tileW;
+        tile.y = static_cast<double>(row) * tileH;
+        tile.w = tileW;
+        tile.h = tileH;
+        coreRects_[id] = tile;
+
+        for (const auto &lay : kUnitLayouts) {
+            Rect r;
+            r.x = tile.x + lay.x * tile.w;
+            r.y = tile.y + lay.y * tile.h;
+            r.w = lay.w * tile.w;
+            r.h = lay.h * tile.h;
+            unitRects_[id][static_cast<std::size_t>(lay.unit)] = r;
+
+            Block b;
+            b.name = "C" + std::to_string(id + 1) + "." +
+                coreUnitName(lay.unit);
+            b.rect = r;
+            b.core = static_cast<int>(id);
+            b.unit = static_cast<int>(lay.unit);
+            coreBlocks_[id].push_back(blocks_.size());
+            blocks_.push_back(std::move(b));
+        }
+    }
+
+    // Two L2 stripes, side by side across the top of the die.
+    for (int i = 0; i < 2; ++i) {
+        Block b;
+        b.name = "L2." + std::to_string(i);
+        b.rect = Rect{0.5 * i, coreBandHeight, 0.5, 1.0 - coreBandHeight};
+        l2Blocks_.push_back(blocks_.size());
+        blocks_.push_back(std::move(b));
+    }
+}
+
+double
+Floorplan::dieEdgeMm() const
+{
+    return std::sqrt(dieAreaMm2_);
+}
+
+const Rect &
+Floorplan::unitRect(std::size_t id, CoreUnit unit) const
+{
+    return unitRects_[id][static_cast<std::size_t>(unit)];
+}
+
+} // namespace varsched

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Die floorplan for the 20-core CMP (Fig 3 of the paper): a 5 x 4
+ * array of cores with two shared-L2 stripes, on a 340 mm^2 die.
+ * Coordinates are normalised to the unit square; physical dimensions
+ * derive from the die area. Each core is subdivided into functional
+ * units so that dynamic power can be deposited per unit (Wattch-style)
+ * and the thermal model sees a realistic power density map.
+ */
+
+#ifndef VARSCHED_FLOORPLAN_FLOORPLAN_HH
+#define VARSCHED_FLOORPLAN_FLOORPLAN_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace varsched
+{
+
+/** Functional units inside a core (Wattch/Alpha-21264-like split). */
+enum class CoreUnit : std::size_t
+{
+    Fetch = 0,   ///< Fetch + branch predictor + BTB
+    Decode,      ///< Decode/rename
+    RegFile,     ///< Integer + FP register files
+    IntExec,     ///< Integer ALUs + scheduler
+    FpExec,      ///< FP units
+    LoadStore,   ///< LSQ + TLBs
+    L1I,         ///< Instruction cache
+    L1D,         ///< Data cache
+    NumUnits
+};
+
+/** Number of CoreUnit values. */
+constexpr std::size_t kNumCoreUnits =
+    static_cast<std::size_t>(CoreUnit::NumUnits);
+
+/** Axis-aligned rectangle in normalised die coordinates. */
+struct Rect
+{
+    double x = 0.0; ///< Left edge.
+    double y = 0.0; ///< Bottom edge.
+    double w = 0.0; ///< Width.
+    double h = 0.0; ///< Height.
+
+    /** Centre x. */
+    double cx() const { return x + w / 2.0; }
+    /** Centre y. */
+    double cy() const { return y + h / 2.0; }
+    /** Area in normalised units. */
+    double area() const { return w * h; }
+};
+
+/** One named block of the floorplan. */
+struct Block
+{
+    std::string name;  ///< e.g. "C7.L1D" or "L2.0".
+    Rect rect;         ///< Position on the die.
+    int core = -1;     ///< Owning core id, or -1 for L2 blocks.
+    int unit = -1;     ///< CoreUnit index, or -1 for L2 blocks.
+};
+
+/**
+ * The 20-core CMP floorplan.
+ *
+ * Cores are laid out in numCols columns x numRows rows over the lower
+ * 80% of the die; two L2 stripes occupy the top 20%. Each core tile is
+ * split into the eight CoreUnit sub-blocks.
+ */
+class Floorplan
+{
+  public:
+    /**
+     * @param numCores Core count (default 20, as in the paper).
+     * @param dieAreaMm2 Total die area in mm^2 (Table 4: 340).
+     */
+    explicit Floorplan(std::size_t numCores = 20, double dieAreaMm2 = 340.0);
+
+    /** Number of cores. */
+    std::size_t numCores() const { return numCores_; }
+    /** Die area in mm^2. */
+    double dieAreaMm2() const { return dieAreaMm2_; }
+    /** Die edge length in mm (square die). */
+    double dieEdgeMm() const;
+
+    /** Bounding rectangle of core @p id (normalised coordinates). */
+    const Rect &coreRect(std::size_t id) const { return coreRects_[id]; }
+
+    /** Rectangle of a functional unit within core @p id. */
+    const Rect &unitRect(std::size_t id, CoreUnit unit) const;
+
+    /** All thermal/power blocks: every core unit plus the L2 blocks. */
+    const std::vector<Block> &blocks() const { return blocks_; }
+
+    /** Indices into blocks() of the L2 blocks. */
+    const std::vector<std::size_t> &l2Blocks() const { return l2Blocks_; }
+
+    /** Indices into blocks() of the unit blocks of core @p id. */
+    const std::vector<std::size_t> &coreBlocks(std::size_t id) const
+    { return coreBlocks_[id]; }
+
+    /** Convert a normalised area to mm^2. */
+    double toMm2(double normalisedArea) const
+    { return normalisedArea * dieAreaMm2_; }
+
+  private:
+    std::size_t numCores_;
+    double dieAreaMm2_;
+    std::vector<Rect> coreRects_;
+    std::vector<std::vector<Rect>> unitRects_;
+    std::vector<Block> blocks_;
+    std::vector<std::size_t> l2Blocks_;
+    std::vector<std::vector<std::size_t>> coreBlocks_;
+};
+
+/** Human-readable unit name (e.g. "L1D"). */
+const char *coreUnitName(CoreUnit unit);
+
+} // namespace varsched
+
+#endif // VARSCHED_FLOORPLAN_FLOORPLAN_HH

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Static (leakage) power model in the HotLeakage tradition.
+ *
+ * Subthreshold leakage follows the BSIM-style form
+ *   Isub ∝ T^2 · exp((-Vth + eta·V) / (n·vT)),   vT = kT/q,
+ * which captures the three couplings the paper's algorithms exploit:
+ * exponential growth as local Vth drops (why low-Vth cores leak),
+ * super-linear growth with supply voltage (why DVFS saves so much),
+ * and exponential growth with temperature (why VarP&AppP tries to
+ * even out power density). Gate leakage is a smaller V^2 term.
+ *
+ * The per-transistor *random* Vth component is folded in analytically:
+ * averaging exp(-dV/(n vT)) over dV ~ N(0, sigma_ran) multiplies
+ * leakage by exp(sigma_ran^2 / (2 (n vT)^2)) — with-variation chips
+ * leak more than nominal even at unchanged mean Vth, as Section 3
+ * notes.
+ */
+
+#ifndef VARSCHED_POWER_LEAKAGE_HH
+#define VARSCHED_POWER_LEAKAGE_HH
+
+#include <cstddef>
+
+#include "floorplan/floorplan.hh"
+#include "varius/varmap.hh"
+
+namespace varsched
+{
+
+/** Leakage model parameters and calibration anchors. */
+struct LeakageParams
+{
+    /** DIBL coefficient eta: effective Vth drop per volt of Vdd. */
+    double dibl = 0.15;
+    /** Subthreshold slope factor n. */
+    double slopeFactor = 3.0;
+    /** Reference temperature for calibration, Celsius. */
+    double refTempC = 60.0;
+    /** Nominal Vth at the reference temperature, volts. */
+    double nominalVth = 0.250;
+    /** Nominal supply, volts. */
+    double nominalVdd = 1.0;
+    /**
+     * Calibration anchor: subthreshold leakage of one *variation-free*
+     * core at (nominalVdd, refTempC), watts. Chosen so static power is
+     * roughly a third of a nominal core's total, per 32 nm ITRS-era
+     * projections.
+     */
+    double nominalCoreSubthresholdW = 3.8;
+    /** Gate-leakage of one core at nominalVdd, watts (scales as V^2). */
+    double nominalCoreGateW = 0.50;
+    /**
+     * Leakage of each L2 block at (nominalVdd, refTempC), watts. L2
+     * arrays use high-Vth/low-leak cells, so density is far below the
+     * cores' despite the larger area.
+     */
+    double nominalL2BlockW = 1.2;
+    /** Vth temperature coefficient, V/K (Vth falls as T rises). */
+    double vthTempCoeff = 0.00035;
+    /** Grid sample points per core edge when integrating the map. */
+    std::size_t samplesPerEdge = 6;
+};
+
+/** Leakage evaluator bound to a parameter set. */
+class LeakageModel
+{
+  public:
+    explicit LeakageModel(const LeakageParams &params = {});
+
+    /**
+     * Subthreshold power of a *uniform* region with the given local
+     * Vth (60 C value), normalised so that vth == nominalVth at
+     * (nominalVdd, refTempC) yields exactly
+     * nominalCoreSubthresholdW — i.e. units of "one core".
+     */
+    double subthresholdCoreEquivalent(double vth60, double v,
+                                      double tempC) const;
+
+    /**
+     * Total static power of core @p coreId on die @p map: integrates
+     * the systematic Vth field over the core tile, folds the random
+     * component analytically, and adds gate leakage.
+     *
+     * @param v Core supply voltage.
+     * @param tempC Core temperature, Celsius.
+     * @param vthShift Uniform Vth offset applied to the whole core
+     *        (a per-core body bias; 0 for an unbiased die).
+     */
+    double corePower(const VariationMap &map, const Floorplan &plan,
+                     std::size_t coreId, double v, double tempC,
+                     double vthShift = 0.0) const;
+
+    /** Static power of one L2 block at the given operating point. */
+    double l2BlockPower(const VariationMap &map, const Floorplan &plan,
+                        std::size_t l2Index, double v, double tempC) const;
+
+    /** Parameters in use. */
+    const LeakageParams &params() const { return params_; }
+
+  private:
+    /** exp-argument helper: (-vth(T) + eta*v) / (n*vT(T)). */
+    double expArg(double vth60, double v, double tempC) const;
+
+    LeakageParams params_;
+    double norm_; ///< Normalisation so nominal core == anchor watts.
+};
+
+} // namespace varsched
+
+#endif // VARSCHED_POWER_LEAKAGE_HH

@@ -1,0 +1,82 @@
+#include "solver/annealing.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace varsched
+{
+
+AnnealResult
+annealMinimize(
+    const std::vector<int> &initial, const std::vector<int> &levels,
+    const std::function<double(const std::vector<int> &)> &energy,
+    const AnnealOptions &opts)
+{
+    assert(initial.size() == levels.size());
+
+    Rng rng(opts.seed);
+    AnnealResult result;
+
+    std::vector<int> current = initial;
+    double currentEnergy = energy(current);
+    ++result.evals;
+
+    result.best = current;
+    result.bestEnergy = currentEnergy;
+
+    const std::size_t n = current.size();
+    if (n == 0)
+        return result;
+
+    std::vector<int> candidate(n);
+    while (result.evals < opts.maxEvals) {
+        // Logarithmic cooling: T_k = T0 / ln(k + e).
+        const double temp = opts.initialTemp /
+            std::log(static_cast<double>(result.evals) + std::numbers::e);
+
+        // Gaussian Markov kernel with scale tracking the temperature.
+        // At least one coordinate always moves so the chain cannot
+        // stall on a zero proposal.
+        candidate = current;
+        const double scale = std::max(0.5, temp);
+        bool moved = false;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (rng.uniform() < 1.5 / static_cast<double>(n)) {
+                const int step =
+                    static_cast<int>(std::lround(rng.normal(0.0, scale)));
+                if (step != 0) {
+                    candidate[i] = std::clamp(candidate[i] + step, 0,
+                                              levels[i] - 1);
+                    moved = moved || candidate[i] != current[i];
+                }
+            }
+        }
+        if (!moved) {
+            const std::size_t i = rng.below(n);
+            const int dir = rng.uniform() < 0.5 ? -1 : 1;
+            candidate[i] = std::clamp(candidate[i] + dir, 0, levels[i] - 1);
+            if (candidate[i] == current[i])
+                candidate[i] = std::clamp(candidate[i] - dir, 0,
+                                          levels[i] - 1);
+        }
+
+        const double candEnergy = energy(candidate);
+        ++result.evals;
+
+        const double delta = candEnergy - currentEnergy;
+        if (delta <= 0.0 || rng.uniform() < std::exp(-delta / temp)) {
+            current = candidate;
+            currentEnergy = candEnergy;
+            ++result.accepted;
+            if (currentEnergy < result.bestEnergy) {
+                result.bestEnergy = currentEnergy;
+                result.best = current;
+            }
+        }
+    }
+
+    return result;
+}
+
+} // namespace varsched

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Generic simulated-annealing driver mirroring the configuration the
+ * paper uses from R's optim(method="SANN") (Section 6.5): candidate
+ * states drawn from a Gaussian Markov kernel whose scale tracks the
+ * annealing temperature, a logarithmic cooling schedule, and a fixed
+ * evaluation budget. SAnn (src/core/sann.*) instantiates this over
+ * per-core voltage-level vectors.
+ */
+
+#ifndef VARSCHED_SOLVER_ANNEALING_HH
+#define VARSCHED_SOLVER_ANNEALING_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "solver/rng.hh"
+
+namespace varsched
+{
+
+/** Tuning knobs for the annealer. */
+struct AnnealOptions
+{
+    /** Total objective evaluations (the paper stops after 1e6). */
+    std::size_t maxEvals = 100000;
+    /**
+     * Initial annealing temperature. The paper scales it with problem
+     * complexity; SAnn sets it proportional to thread count.
+     */
+    double initialTemp = 10.0;
+    /** RNG seed for the Markov kernel and acceptance draws. */
+    std::uint64_t seed = 1;
+};
+
+/** Result of an annealing run. */
+struct AnnealResult
+{
+    /** Best state seen over the whole run. */
+    std::vector<int> best;
+    /** Energy (cost) of the best state — lower is better. */
+    double bestEnergy = 0.0;
+    /** Objective evaluations consumed. */
+    std::size_t evals = 0;
+    /** Accepted moves (diagnostic). */
+    std::size_t accepted = 0;
+};
+
+/**
+ * Minimise an energy function over integer-vector states with bounded
+ * coordinates (each state[i] lies in [0, levels[i] - 1]).
+ *
+ * The proposal kernel perturbs a random subset of coordinates by
+ * Gaussian steps with standard deviation proportional to the current
+ * annealing temperature — large, exploratory jumps early; local
+ * refinement late — and the temperature follows the logarithmic
+ * schedule T_k = T0 / ln(k + e) of classic Boltzmann annealing.
+ *
+ * @param initial Starting state.
+ * @param levels Per-coordinate exclusive upper bounds.
+ * @param energy Cost function to minimise (infeasible states should
+ *        return a penalised, finite energy so the chain can escape).
+ * @param opts Budget / temperature / seed.
+ */
+AnnealResult annealMinimize(
+    const std::vector<int> &initial, const std::vector<int> &levels,
+    const std::function<double(const std::vector<int> &)> &energy,
+    const AnnealOptions &opts);
+
+} // namespace varsched
+
+#endif // VARSCHED_SOLVER_ANNEALING_HH

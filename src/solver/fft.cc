@@ -1,0 +1,87 @@
+#include "solver/fft.hh"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace varsched
+{
+
+bool
+isPowerOfTwo(std::size_t n)
+{
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+std::size_t
+nextPowerOfTwo(std::size_t n)
+{
+    std::size_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+void
+fft(std::vector<std::complex<double>> &data, bool inverse)
+{
+    const std::size_t n = data.size();
+    assert(isPowerOfTwo(n));
+    if (n <= 1)
+        return;
+
+    // Bit-reversal permutation.
+    for (std::size_t i = 1, j = 0; i < n; ++i) {
+        std::size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1)
+            j ^= bit;
+        j ^= bit;
+        if (i < j)
+            std::swap(data[i], data[j]);
+    }
+
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+        const double ang = 2.0 * std::numbers::pi /
+            static_cast<double>(len) * (inverse ? 1.0 : -1.0);
+        const std::complex<double> wlen(std::cos(ang), std::sin(ang));
+        for (std::size_t i = 0; i < n; i += len) {
+            std::complex<double> w(1.0, 0.0);
+            for (std::size_t k = 0; k < len / 2; ++k) {
+                const std::complex<double> u = data[i + k];
+                const std::complex<double> v = data[i + k + len / 2] * w;
+                data[i + k] = u + v;
+                data[i + k + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+    }
+}
+
+void
+fft2d(std::vector<std::complex<double>> &data, std::size_t rows,
+      std::size_t cols, bool inverse)
+{
+    assert(data.size() == rows * cols);
+    assert(isPowerOfTwo(rows) && isPowerOfTwo(cols));
+
+    std::vector<std::complex<double>> scratch(std::max(rows, cols));
+
+    for (std::size_t r = 0; r < rows; ++r) {
+        scratch.assign(data.begin() + static_cast<long>(r * cols),
+                       data.begin() + static_cast<long>((r + 1) * cols));
+        fft(scratch, inverse);
+        std::copy(scratch.begin(), scratch.end(),
+                  data.begin() + static_cast<long>(r * cols));
+    }
+
+    scratch.resize(rows);
+    for (std::size_t c = 0; c < cols; ++c) {
+        for (std::size_t r = 0; r < rows; ++r)
+            scratch[r] = data[r * cols + c];
+        fft(scratch, inverse);
+        for (std::size_t r = 0; r < rows; ++r)
+            data[r * cols + c] = scratch[r];
+    }
+}
+
+} // namespace varsched

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * In-place radix-2 complex FFT and a 2D wrapper. Used by the
+ * circulant-embedding Gaussian random field generator to synthesise
+ * large spatially-correlated Vth/Leff maps (the paper uses 1M points
+ * per die, far beyond what dense Cholesky can factor).
+ */
+
+#ifndef VARSCHED_SOLVER_FFT_HH
+#define VARSCHED_SOLVER_FFT_HH
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace varsched
+{
+
+/** True iff n is a power of two (and nonzero). */
+bool isPowerOfTwo(std::size_t n);
+
+/** Smallest power of two >= n. */
+std::size_t nextPowerOfTwo(std::size_t n);
+
+/**
+ * In-place iterative radix-2 FFT.
+ *
+ * @param data Sequence whose length must be a power of two.
+ * @param inverse When true computes the unscaled inverse transform;
+ *        callers divide by N to invert exactly.
+ */
+void fft(std::vector<std::complex<double>> &data, bool inverse);
+
+/**
+ * In-place 2D FFT of row-major data with power-of-two dimensions:
+ * transforms every row, then every column.
+ */
+void fft2d(std::vector<std::complex<double>> &data, std::size_t rows,
+           std::size_t cols, bool inverse);
+
+} // namespace varsched
+
+#endif // VARSCHED_SOLVER_FFT_HH

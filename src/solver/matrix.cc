@@ -1,0 +1,126 @@
+#include "solver/matrix.hh"
+
+#include <cassert>
+#include <cmath>
+
+namespace varsched
+{
+
+bool
+cholesky(const Matrix &a, Matrix &l)
+{
+    assert(a.rows() == a.cols());
+    const std::size_t n = a.rows();
+    l = Matrix(n, n);
+
+    // Jitter ladder: retry with a progressively larger diagonal boost
+    // when near-singular covariance matrices (e.g. fully correlated
+    // grid points) defeat exact factorisation.
+    for (double jitter : {0.0, 1e-12, 1e-9, 1e-6}) {
+        bool ok = true;
+        for (std::size_t i = 0; i < n && ok; ++i) {
+            for (std::size_t j = 0; j <= i; ++j) {
+                double sum = a(i, j) + (i == j ? jitter : 0.0);
+                for (std::size_t k = 0; k < j; ++k)
+                    sum -= l(i, k) * l(j, k);
+                if (i == j) {
+                    if (sum <= 0.0) {
+                        ok = false;
+                        break;
+                    }
+                    l(i, i) = std::sqrt(sum);
+                } else {
+                    l(i, j) = sum / l(j, j);
+                }
+            }
+        }
+        if (ok)
+            return true;
+    }
+    return false;
+}
+
+std::vector<double>
+lowerMultiply(const Matrix &l, const std::vector<double> &x)
+{
+    assert(l.cols() == x.size());
+    std::vector<double> y(l.rows(), 0.0);
+    for (std::size_t i = 0; i < l.rows(); ++i) {
+        double sum = 0.0;
+        for (std::size_t j = 0; j <= i && j < l.cols(); ++j)
+            sum += l(i, j) * x[j];
+        y[i] = sum;
+    }
+    return y;
+}
+
+std::pair<double, double>
+fitLine(const std::vector<double> &x, const std::vector<double> &y)
+{
+    assert(x.size() == y.size());
+    const std::size_t n = x.size();
+    if (n == 0)
+        return {0.0, 0.0};
+    if (n == 1)
+        return {0.0, y[0]};
+
+    double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        sx += x[i];
+        sy += y[i];
+        sxx += x[i] * x[i];
+        sxy += x[i] * y[i];
+    }
+    const double nd = static_cast<double>(n);
+    const double denom = nd * sxx - sx * sx;
+    if (std::abs(denom) < 1e-30)
+        return {0.0, sy / nd};
+    const double b = (nd * sxy - sx * sy) / denom;
+    const double c = (sy - b * sx) / nd;
+    return {b, c};
+}
+
+std::vector<double>
+solveCG(const Matrix &a, const std::vector<double> &b, double tol,
+        std::size_t maxIter)
+{
+    assert(a.rows() == a.cols() && a.rows() == b.size());
+    const std::size_t n = b.size();
+    if (maxIter == 0)
+        maxIter = 10 * n + 100;
+
+    std::vector<double> x(n, 0.0), r = b, p = b, ap(n);
+    double rr = 0.0;
+    for (double v : r)
+        rr += v * v;
+    const double rr0 = rr > 0.0 ? rr : 1.0;
+
+    for (std::size_t it = 0; it < maxIter && rr / rr0 > tol * tol; ++it) {
+        for (std::size_t i = 0; i < n; ++i) {
+            double s = 0.0;
+            for (std::size_t j = 0; j < n; ++j)
+                s += a(i, j) * p[j];
+            ap[i] = s;
+        }
+        double pap = 0.0;
+        for (std::size_t i = 0; i < n; ++i)
+            pap += p[i] * ap[i];
+        if (std::abs(pap) < 1e-300)
+            break;
+        const double alpha = rr / pap;
+        for (std::size_t i = 0; i < n; ++i) {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        double rrNew = 0.0;
+        for (double v : r)
+            rrNew += v * v;
+        const double beta = rrNew / rr;
+        for (std::size_t i = 0; i < n; ++i)
+            p[i] = r[i] + beta * p[i];
+        rr = rrNew;
+    }
+    return x;
+}
+
+} // namespace varsched

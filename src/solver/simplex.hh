@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Two-phase primal simplex solver for small dense linear programs.
+ *
+ * This is the optimisation engine behind LinOpt (Section 4.3.1 of the
+ * paper): maximise a linear throughput objective subject to the chip
+ * power budget, per-core power caps, and voltage bounds. Problems are
+ * tiny (<= 20 variables, ~40 constraints) so a dense tableau with
+ * Bland's anti-cycling rule is both simple and fast — the paper reports
+ * microsecond solve times, which Fig 15's bench reproduces.
+ */
+
+#ifndef VARSCHED_SOLVER_SIMPLEX_HH
+#define VARSCHED_SOLVER_SIMPLEX_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace varsched
+{
+
+/**
+ * A linear program in canonical inequality form:
+ *   maximise  cᵀx
+ *   subject to  A·x <= b,  x >= 0.
+ * Right-hand sides may be negative (phase 1 handles them).
+ */
+struct LinearProgram
+{
+    /** Objective coefficients c (one per variable). */
+    std::vector<double> objective;
+    /** Constraint matrix rows A[i]. Each must match objective size. */
+    std::vector<std::vector<double>> rows;
+    /** Right-hand sides b[i], one per row. */
+    std::vector<double> rhs;
+
+    /** Number of decision variables. */
+    std::size_t numVars() const { return objective.size(); }
+    /** Number of constraints. */
+    std::size_t numRows() const { return rows.size(); }
+
+    /** Append a constraint row·x <= bound. */
+    void addRow(std::vector<double> row, double bound);
+};
+
+/** Outcome of a simplex solve. */
+struct LpResult
+{
+    enum class Status { Optimal, Infeasible, Unbounded };
+
+    Status status = Status::Infeasible;
+    /** Optimal assignment (valid only when status == Optimal). */
+    std::vector<double> x;
+    /** Objective value at x. */
+    double objective = 0.0;
+    /** Simplex pivots performed across both phases. */
+    std::size_t pivots = 0;
+};
+
+/**
+ * Solve the given LP with the two-phase primal simplex method.
+ *
+ * Phase 1 constructs a feasible basis via artificial variables (only
+ * for rows whose slack basis is infeasible); phase 2 optimises the
+ * real objective. Bland's rule guarantees termination.
+ */
+LpResult solveSimplex(const LinearProgram &lp);
+
+} // namespace varsched
+
+#endif // VARSCHED_SOLVER_SIMPLEX_HH

@@ -1,0 +1,127 @@
+#include "solver/stats.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace varsched
+{
+
+void
+Summary::add(double x)
+{
+    ++n_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+double
+Summary::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+Summary::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    assert(bins >= 1 && hi > lo);
+}
+
+void
+Histogram::add(double x)
+{
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    auto idx = static_cast<long>(std::floor((x - lo_) / width));
+    idx = std::clamp<long>(idx, 0, static_cast<long>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(idx)];
+    ++total_;
+}
+
+double
+Histogram::binCenter(std::size_t i) const
+{
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return lo_ + (static_cast<double>(i) + 0.5) * width;
+}
+
+double
+Histogram::binLow(std::size_t i) const
+{
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return lo_ + static_cast<double>(i) * width;
+}
+
+std::string
+Histogram::toTable(const std::string &label) const
+{
+    std::string out;
+    char line[160];
+    std::snprintf(line, sizeof(line), "%-12s %10s  %s\n",
+                  label.c_str(), "dies", "bar");
+    out += line;
+    std::size_t peak = 1;
+    for (auto c : counts_)
+        peak = std::max(peak, c);
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const int barLen =
+            static_cast<int>(40.0 * static_cast<double>(counts_[i]) /
+                             static_cast<double>(peak));
+        std::snprintf(line, sizeof(line), "%5.3f-%5.3f %10zu  %.*s\n",
+                      binLow(i), binLow(i + 1), counts_[i], barLen,
+                      "########################################");
+        out += line;
+    }
+    return out;
+}
+
+double
+percentile(std::vector<double> values, double p)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    const double rank =
+        std::clamp(p, 0.0, 100.0) / 100.0 *
+        static_cast<double>(values.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(rank));
+    const auto hi = static_cast<std::size_t>(std::ceil(rank));
+    const double frac = rank - std::floor(rank);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double
+meanOf(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double v : values)
+        s += v;
+    return s / static_cast<double>(values.size());
+}
+
+double
+geomeanOf(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double v : values)
+        s += std::log(v);
+    return std::exp(s / static_cast<double>(values.size()));
+}
+
+} // namespace varsched

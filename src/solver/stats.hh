@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Small descriptive-statistics helpers used by the evaluation harness:
+ * running summaries, histograms (for Fig 4-style plots), and
+ * percentile extraction.
+ */
+
+#ifndef VARSCHED_SOLVER_STATS_HH
+#define VARSCHED_SOLVER_STATS_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace varsched
+{
+
+/** Incremental mean / variance / min / max accumulator (Welford). */
+class Summary
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** Number of observations so far. */
+    std::size_t count() const { return n_; }
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const { return n_ ? mean_ : 0.0; }
+    /** Unbiased sample variance; 0 for fewer than two samples. */
+    double variance() const;
+    /** Sample standard deviation. */
+    double stddev() const;
+    /** Smallest observation; +inf when empty. */
+    double min() const { return min_; }
+    /** Largest observation; -inf when empty. */
+    double max() const { return max_; }
+    /** Sum of all observations. */
+    double sum() const { return sum_; }
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 1.0e300;
+    double max_ = -1.0e300;
+    double sum_ = 0.0;
+};
+
+/**
+ * Fixed-bin histogram over [lo, hi). Out-of-range samples clamp into
+ * the first/last bin so counts always total the number of samples.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo Lower edge of the first bin.
+     * @param hi Upper edge of the last bin.
+     * @param bins Number of equal-width bins. @pre bins >= 1, hi > lo.
+     */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Add one observation (clamped into range). */
+    void add(double x);
+
+    /** Count in bin i. */
+    std::size_t binCount(std::size_t i) const { return counts_[i]; }
+    /** Centre of bin i. */
+    double binCenter(std::size_t i) const;
+    /** Lower edge of bin i. */
+    double binLow(std::size_t i) const;
+    /** Number of bins. */
+    std::size_t bins() const { return counts_.size(); }
+    /** Total samples recorded. */
+    std::size_t total() const { return total_; }
+
+    /**
+     * Render an ASCII table, one row per bin, suitable for the bench
+     * binaries that replace the paper's histogram figures.
+     */
+    std::string toTable(const std::string &label) const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+/** p-th percentile (0..100) by linear interpolation of sorted data. */
+double percentile(std::vector<double> values, double p);
+
+/** Mean of a vector; 0 when empty. */
+double meanOf(const std::vector<double> &values);
+
+/** Geometric mean of positive values; 0 when empty. */
+double geomeanOf(const std::vector<double> &values);
+
+} // namespace varsched
+
+#endif // VARSCHED_SOLVER_STATS_HH

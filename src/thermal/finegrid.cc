@@ -1,0 +1,152 @@
+#include "thermal/finegrid.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace varsched
+{
+
+namespace
+{
+
+/** Shared-boundary length between two rectangles (normalised). */
+double
+sharedEdge(const Rect &a, const Rect &b)
+{
+    constexpr double kTouch = 1e-9;
+    if (std::abs((a.x + a.w) - b.x) < kTouch ||
+        std::abs((b.x + b.w) - a.x) < kTouch) {
+        const double lo = std::max(a.y, b.y);
+        const double hi = std::min(a.y + a.h, b.y + b.h);
+        return std::max(0.0, hi - lo);
+    }
+    if (std::abs((a.y + a.h) - b.y) < kTouch ||
+        std::abs((b.y + b.h) - a.y) < kTouch) {
+        const double lo = std::max(a.x, b.x);
+        const double hi = std::min(a.x + a.w, b.x + b.w);
+        return std::max(0.0, hi - lo);
+    }
+    return 0.0;
+}
+
+} // namespace
+
+double
+FineThermalResult::coreHotspotC(const Floorplan &plan,
+                                std::size_t coreId) const
+{
+    double hot = -1e300;
+    for (std::size_t idx : plan.coreBlocks(coreId))
+        hot = std::max(hot, blockTempC[idx]);
+    return hot;
+}
+
+double
+FineThermalResult::coreMeanC(const Floorplan &plan,
+                             std::size_t coreId) const
+{
+    double sum = 0.0, area = 0.0;
+    for (std::size_t idx : plan.coreBlocks(coreId)) {
+        const double a = plan.blocks()[idx].rect.area();
+        sum += blockTempC[idx] * a;
+        area += a;
+    }
+    return area > 0.0 ? sum / area : 0.0;
+}
+
+FineThermalModel::FineThermalModel(const Floorplan &plan,
+                                   const ThermalParams &params)
+    : plan_(&plan), numBlocks_(plan.blocks().size()), params_(params)
+{
+    const std::size_t n = numBlocks_ + 2;
+    const std::size_t spreader = numBlocks_;
+    const std::size_t sink = numBlocks_ + 1;
+
+    conductance_ = Matrix(n, n);
+    const double edgeM = plan.dieEdgeMm() * 1e-3;
+
+    auto addConductance = [this](std::size_t i, std::size_t j,
+                                 double g) {
+        conductance_(i, i) += g;
+        conductance_(j, j) += g;
+        conductance_(i, j) -= g;
+        conductance_(j, i) -= g;
+    };
+
+    const auto &blocks = plan.blocks();
+    for (std::size_t i = 0; i < numBlocks_; ++i) {
+        for (std::size_t j = i + 1; j < numBlocks_; ++j) {
+            const double edge =
+                sharedEdge(blocks[i].rect, blocks[j].rect);
+            if (edge <= 0.0)
+                continue;
+            const double dx = blocks[i].rect.cx() - blocks[j].rect.cx();
+            const double dy = blocks[i].rect.cy() - blocks[j].rect.cy();
+            const double dist = std::hypot(dx, dy) * edgeM;
+            const double g = params_.siliconConductivity *
+                params_.siliconThicknessM * (edge * edgeM) / dist;
+            addConductance(i, j, g);
+        }
+    }
+    for (std::size_t i = 0; i < numBlocks_; ++i) {
+        const double areaM2 = blocks[i].rect.area() * edgeM * edgeM;
+        addConductance(i, spreader,
+                       areaM2 / params_.verticalResistivity);
+    }
+    addConductance(spreader, sink, 1.0 / params_.spreaderToSinkR);
+    conductance_(sink, sink) += 1.0 / params_.sinkToAmbientR;
+}
+
+FineThermalResult
+FineThermalModel::solve(const std::vector<double> &blockPowerW) const
+{
+    assert(blockPowerW.size() == numBlocks_);
+    const std::size_t n = numBlocks_ + 2;
+
+    std::vector<double> rhs(n, 0.0);
+    for (std::size_t i = 0; i < numBlocks_; ++i)
+        rhs[i] = blockPowerW[i];
+    rhs[n - 1] = params_.ambientC / params_.sinkToAmbientR;
+
+    const std::vector<double> temps = solveCG(conductance_, rhs, 1e-10);
+
+    FineThermalResult result;
+    result.blockTempC.assign(temps.begin(),
+                             temps.begin() +
+                                 static_cast<long>(numBlocks_));
+    result.spreaderC = temps[numBlocks_];
+    result.sinkC = temps[numBlocks_ + 1];
+    return result;
+}
+
+std::vector<double>
+buildBlockPowerMap(
+    const Floorplan &plan,
+    const std::vector<std::array<double, kNumCoreUnits>> &coreDynUnitW,
+    const std::vector<double> &coreLeakW,
+    const std::vector<double> &l2W)
+{
+    assert(coreDynUnitW.size() == plan.numCores());
+    assert(coreLeakW.size() == plan.numCores());
+    assert(l2W.size() == plan.l2Blocks().size());
+
+    std::vector<double> power(plan.blocks().size(), 0.0);
+    for (std::size_t c = 0; c < plan.numCores(); ++c) {
+        const double coreArea = plan.coreRect(c).area();
+        for (std::size_t slot = 0; slot < kNumCoreUnits; ++slot) {
+            const std::size_t idx = plan.coreBlocks(c)[slot];
+            const Block &block = plan.blocks()[idx];
+            assert(block.unit >= 0);
+            const auto unit = static_cast<std::size_t>(block.unit);
+            // Dynamic by unit wattage; leakage by area share.
+            power[idx] = coreDynUnitW[c][unit] +
+                coreLeakW[c] * block.rect.area() / coreArea;
+        }
+    }
+    for (std::size_t b = 0; b < plan.l2Blocks().size(); ++b)
+        power[plan.l2Blocks()[b]] = l2W[b];
+    return power;
+}
+
+} // namespace varsched

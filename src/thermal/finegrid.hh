@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Fine-grained thermal model: the RC network built over *every*
+ * floorplan block — each core's eight functional units plus the L2
+ * stripes — instead of one node per core. Dynamic power is deposited
+ * per unit (the Wattch-style activity split), so within-core hot
+ * spots (the FP unit under applu, the L1D under vortex) become
+ * visible. The coarse per-core model (thermal/thermal.hh) is what the
+ * system loop uses — this model quantifies what that approximation
+ * hides (see bench_abl_thermal_granularity) and serves analyses that
+ * need unit temperatures, e.g. wearout of specific structures.
+ */
+
+#ifndef VARSCHED_THERMAL_FINEGRID_HH
+#define VARSCHED_THERMAL_FINEGRID_HH
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "floorplan/floorplan.hh"
+#include "solver/matrix.hh"
+#include "thermal/thermal.hh"
+
+namespace varsched
+{
+
+/** Steady-state per-block temperatures (fine grid). */
+struct FineThermalResult
+{
+    /** Temperature of every floorplan block, indexed as
+     *  Floorplan::blocks(). */
+    std::vector<double> blockTempC;
+    double spreaderC = 0.0;
+    double sinkC = 0.0;
+
+    /** Hottest block of core @p coreId (needs the floorplan). */
+    double coreHotspotC(const Floorplan &plan, std::size_t coreId) const;
+    /** Area-weighted mean temperature of core @p coreId. */
+    double coreMeanC(const Floorplan &plan, std::size_t coreId) const;
+};
+
+/**
+ * RC network over all floorplan blocks. Same package stack as the
+ * coarse model (shared ThermalParams), so the two agree on totals and
+ * differ only in lateral granularity.
+ */
+class FineThermalModel
+{
+  public:
+    explicit FineThermalModel(const Floorplan &plan,
+                              const ThermalParams &params = {});
+
+    /**
+     * Solve steady state for a per-block power map.
+     *
+     * @param blockPowerW One entry per floorplan block (unit powers
+     *        for core blocks, block powers for L2), W.
+     */
+    FineThermalResult solve(
+        const std::vector<double> &blockPowerW) const;
+
+    /** Number of silicon blocks (== floorplan blocks). */
+    std::size_t numBlocks() const { return numBlocks_; }
+
+    const ThermalParams &params() const { return params_; }
+
+  private:
+    const Floorplan *plan_;
+    std::size_t numBlocks_;
+    ThermalParams params_;
+    Matrix conductance_;
+};
+
+/**
+ * Distribute a core's dynamic + leakage power over its unit blocks:
+ * dynamic power splits by per-unit wattage (activity x unit budget),
+ * leakage by block area. Returns a block-power vector for
+ * FineThermalModel::solve.
+ *
+ * @param plan Floorplan.
+ * @param coreDynUnitW For each core, per-unit dynamic watts
+ *        (kNumCoreUnits entries; zeros for idle cores).
+ * @param coreLeakW Per-core leakage, W.
+ * @param l2W Per-L2-block power, W.
+ */
+std::vector<double> buildBlockPowerMap(
+    const Floorplan &plan,
+    const std::vector<std::array<double, kNumCoreUnits>> &coreDynUnitW,
+    const std::vector<double> &coreLeakW,
+    const std::vector<double> &l2W);
+
+} // namespace varsched
+
+#endif // VARSCHED_THERMAL_FINEGRID_HH

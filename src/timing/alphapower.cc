@@ -1,0 +1,35 @@
+#include "timing/alphapower.hh"
+
+#include <cmath>
+
+namespace varsched
+{
+
+double
+vthAtTemp(double vthRef, double tempC, const DelayParams &params)
+{
+    return vthRef - params.vthTempCoeff * (tempC - params.refTempC);
+}
+
+double
+gateDelay(double leff, double vthRef, double v, double tempC,
+          const DelayParams &params)
+{
+    const double vth = vthAtTemp(vthRef, tempC, params);
+    const double overdrive = v - vth;
+    // Below ~50 mV of overdrive the gate is effectively off at speed;
+    // return a delay large enough that fmax collapses smoothly.
+    constexpr double kMinOverdrive = 0.05;
+    const double effOverdrive = overdrive < kMinOverdrive
+        ? kMinOverdrive * kMinOverdrive / (2.0 * kMinOverdrive - overdrive)
+        : overdrive;
+
+    const double tKelvin = tempC + 273.15;
+    const double tRefKelvin = params.refTempC + 273.15;
+    const double mobilityDerate =
+        std::pow(tKelvin / tRefKelvin, params.mobilityExponent);
+
+    return leff * v * mobilityDerate / std::pow(effOverdrive, params.alpha);
+}
+
+} // namespace varsched

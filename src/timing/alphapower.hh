@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Alpha-power-law MOSFET delay model (Sakurai-Newton) with
+ * temperature effects, used to translate local Vth/Leff into gate and
+ * path delays. Delay rises with Leff, falls with gate overdrive
+ * (V - Vth)^alpha, and degrades with temperature through carrier
+ * mobility; Vth itself drops slightly as temperature rises.
+ */
+
+#ifndef VARSCHED_TIMING_ALPHAPOWER_HH
+#define VARSCHED_TIMING_ALPHAPOWER_HH
+
+namespace varsched
+{
+
+/** Device-level delay parameters. */
+struct DelayParams
+{
+    /** Velocity-saturation exponent (~1.3 for short channels). */
+    double alpha = 1.55;
+    /** Vth decrease per Kelvin of warming, volts (BSIM-like). */
+    double vthTempCoeff = 0.00035;
+    /** Mobility scales as (T/Tref)^-mobilityExponent, T in Kelvin. */
+    double mobilityExponent = 1.5;
+    /** Temperature at which Vth maps are specified, Celsius. */
+    double refTempC = 60.0;
+};
+
+/** Threshold voltage at temperature @p tempC given its 60 C value. */
+double vthAtTemp(double vthRef, double tempC, const DelayParams &params);
+
+/**
+ * Relative gate delay (arbitrary units — calibrated elsewhere).
+ *
+ * d = Leff * V / (mobility(T) * (V - Vth(T))^alpha)
+ *
+ * @param leff Normalised effective gate length (nominal 1).
+ * @param vthRef Threshold voltage at the 60 C reference, volts.
+ * @param v Supply voltage, volts.
+ * @param tempC Junction temperature, Celsius.
+ * @return Relative delay; a very large value when the overdrive
+ *         collapses (V close to or below Vth), so the core simply
+ *         cannot clock at that voltage.
+ */
+double gateDelay(double leff, double vthRef, double v, double tempC,
+                 const DelayParams &params);
+
+} // namespace varsched
+
+#endif // VARSCHED_TIMING_ALPHAPOWER_HH

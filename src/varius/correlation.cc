@@ -1,0 +1,20 @@
+#include "varius/correlation.hh"
+
+#include <cassert>
+#include <cmath>
+
+namespace varsched
+{
+
+double
+sphericalRho(double r, double phi)
+{
+    assert(phi > 0.0);
+    r = std::abs(r);
+    if (r >= phi)
+        return 0.0;
+    const double t = r / phi;
+    return 1.0 - 1.5 * t + 0.5 * t * t * t;
+}
+
+} // namespace varsched

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Spatial correlation structure of systematic within-die variation.
+ *
+ * VARIUS (and Section 3 of the paper) model the systematic component
+ * of Vth/Leff as a zero-mean Gaussian field whose correlation between
+ * two points depends only on their distance r, falling from rho(0)=1
+ * to rho(phi)=0 following the *spherical* correlogram. phi is the
+ * distance beyond which two transistors are effectively uncorrelated,
+ * measured as a fraction of the chip width (0.5 per Friedberg et al.).
+ */
+
+#ifndef VARSCHED_VARIUS_CORRELATION_HH
+#define VARSCHED_VARIUS_CORRELATION_HH
+
+namespace varsched
+{
+
+/**
+ * Spherical correlogram rho(r).
+ *
+ * rho(r) = 1 - 1.5 (r/phi) + 0.5 (r/phi)^3 for r < phi, 0 beyond.
+ *
+ * @param r Distance between the two points (same units as phi).
+ * @param phi Correlation range; @pre phi > 0.
+ */
+double sphericalRho(double r, double phi);
+
+} // namespace varsched
+
+#endif // VARSCHED_VARIUS_CORRELATION_HH

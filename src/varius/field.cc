@@ -1,0 +1,201 @@
+#include "varius/field.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <complex>
+#include <cstdio>
+
+#include "solver/fft.hh"
+#include "solver/matrix.hh"
+#include "varius/correlation.hh"
+
+namespace varsched
+{
+
+FieldSample::FieldSample(std::size_t n, std::vector<double> values)
+    : n_(n), values_(std::move(values))
+{
+    assert(values_.size() == n_ * n_);
+}
+
+double
+FieldSample::sample(double x, double y) const
+{
+    assert(n_ >= 2);
+    x = std::clamp(x, 0.0, 1.0);
+    y = std::clamp(y, 0.0, 1.0);
+    const double gx = x * static_cast<double>(n_ - 1);
+    const double gy = y * static_cast<double>(n_ - 1);
+    const auto c0 = static_cast<std::size_t>(gx);
+    const auto r0 = static_cast<std::size_t>(gy);
+    const std::size_t c1 = std::min(c0 + 1, n_ - 1);
+    const std::size_t r1 = std::min(r0 + 1, n_ - 1);
+    const double fx = gx - static_cast<double>(c0);
+    const double fy = gy - static_cast<double>(r0);
+    const double v00 = at(r0, c0), v01 = at(r0, c1);
+    const double v10 = at(r1, c0), v11 = at(r1, c1);
+    return v00 * (1 - fx) * (1 - fy) + v01 * fx * (1 - fy) +
+           v10 * (1 - fx) * fy + v11 * fx * fy;
+}
+
+double
+FieldSample::mean() const
+{
+    double s = 0.0;
+    for (double v : values_)
+        s += v;
+    return values_.empty() ? 0.0 : s / static_cast<double>(values_.size());
+}
+
+bool
+FieldSample::writePgm(const std::string &path) const
+{
+    if (n_ == 0)
+        return false;
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr)
+        return false;
+
+    double lo = values_[0], hi = values_[0];
+    for (double v : values_) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    const double range = hi > lo ? hi - lo : 1.0;
+
+    std::fprintf(f, "P5\n%zu %zu\n255\n", n_, n_);
+    std::vector<unsigned char> row(n_);
+    for (std::size_t r = 0; r < n_; ++r) {
+        // Flip vertically: row 0 of the grid is the die's bottom.
+        const std::size_t src = n_ - 1 - r;
+        for (std::size_t c = 0; c < n_; ++c) {
+            row[c] = static_cast<unsigned char>(
+                255.0 * (at(src, c) - lo) / range);
+        }
+        std::fwrite(row.data(), 1, n_, f);
+    }
+    std::fclose(f);
+    return true;
+}
+
+double
+FieldSample::stddev() const
+{
+    if (values_.size() < 2)
+        return 0.0;
+    const double m = mean();
+    double s = 0.0;
+    for (double v : values_)
+        s += (v - m) * (v - m);
+    return std::sqrt(s / static_cast<double>(values_.size() - 1));
+}
+
+namespace
+{
+
+/** Exact generation through dense Cholesky of the grid covariance. */
+FieldSample
+generateCholesky(std::size_t n, double phi, Rng &rng)
+{
+    const std::size_t total = n * n;
+    const double step = n > 1 ? 1.0 / static_cast<double>(n - 1) : 1.0;
+
+    Matrix cov(total, total);
+    for (std::size_t i = 0; i < total; ++i) {
+        const double xi = static_cast<double>(i % n) * step;
+        const double yi = static_cast<double>(i / n) * step;
+        for (std::size_t j = 0; j <= i; ++j) {
+            const double xj = static_cast<double>(j % n) * step;
+            const double yj = static_cast<double>(j / n) * step;
+            const double r = std::hypot(xi - xj, yi - yj);
+            const double c = sphericalRho(r, phi);
+            cov(i, j) = c;
+            cov(j, i) = c;
+        }
+    }
+
+    Matrix l;
+    const bool ok = cholesky(cov, l);
+    assert(ok);
+    (void)ok;
+
+    std::vector<double> z(total);
+    for (auto &v : z)
+        v = rng.normal();
+    return FieldSample(n, lowerMultiply(l, z));
+}
+
+/**
+ * Circulant-embedding generation (Dietrich & Newsam): embed the
+ * covariance on a torus at least twice the grid size, diagonalise it
+ * with the FFT, colour white noise with the square-root spectrum, and
+ * crop the top-left n x n corner. Slightly negative eigenvalues from
+ * an imperfect embedding are clamped and the output renormalised to
+ * unit variance.
+ */
+FieldSample
+generateCirculant(std::size_t n, double phi, Rng &rng)
+{
+    const double step = n > 1 ? 1.0 / static_cast<double>(n - 1) : 1.0;
+    // The torus must be wide enough that the min-image distance across
+    // the wrap exceeds the correlation range phi for all cropped pairs.
+    const std::size_t m =
+        nextPowerOfTwo(2 * n + static_cast<std::size_t>(
+                                   std::ceil(phi / step)) + 2);
+
+    std::vector<std::complex<double>> spec(m * m);
+    for (std::size_t r = 0; r < m; ++r) {
+        const double drGrid = static_cast<double>(std::min(r, m - r));
+        for (std::size_t c = 0; c < m; ++c) {
+            const double dcGrid = static_cast<double>(std::min(c, m - c));
+            const double dist = std::hypot(drGrid, dcGrid) * step;
+            spec[r * m + c] = sphericalRho(dist, phi);
+        }
+    }
+
+    fft2d(spec, m, m, false);
+
+    // Colour complex white noise with sqrt of the (clamped) spectrum.
+    // Clamping slightly inflates the total variance, so rescale by the
+    // deterministic factor that restores unit point variance — this
+    // preserves the natural die-to-die fluctuation of the sample
+    // variance, unlike normalising by each sample's own stddev.
+    const double invTot = 1.0 / static_cast<double>(m * m);
+    double sumLambda = 0.0;
+    for (auto &v : spec) {
+        const double lambda = std::max(0.0, v.real());
+        sumLambda += lambda;
+        const double amp = std::sqrt(lambda * invTot);
+        v = std::complex<double>(amp * rng.normal(), amp * rng.normal());
+    }
+    const double pointVar = sumLambda * invTot;
+    const double rescale = pointVar > 1e-12 ? 1.0 / std::sqrt(pointVar) : 1.0;
+
+    fft2d(spec, m, m, false);
+
+    std::vector<double> values(n * n);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < n; ++c)
+            values[r * n + c] = spec[r * m + c].real() * rescale;
+
+    return FieldSample(n, std::move(values));
+}
+
+} // namespace
+
+FieldSample
+generateField(std::size_t n, double phi, Rng &rng, FieldMethod method)
+{
+    assert(n >= 2);
+    assert(phi > 0.0);
+    switch (method) {
+      case FieldMethod::Cholesky:
+        return generateCholesky(n, phi, rng);
+      case FieldMethod::CirculantFFT:
+      default:
+        return generateCirculant(n, phi, rng);
+    }
+}
+
+} // namespace varsched

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Zero-mean, unit-variance 2D Gaussian random fields with spherical
+ * spatial correlation — the systematic-variation generator of the
+ * VARIUS model. Replaces the geoR/R pipeline the paper used.
+ *
+ * Two generation back-ends are provided:
+ *  - exact dense Cholesky of the grid covariance (small grids; used by
+ *    tests as ground truth), and
+ *  - circulant embedding + FFT (large grids; the default — the paper
+ *    uses 1M points per die, which only the FFT path can reach).
+ */
+
+#ifndef VARSCHED_VARIUS_FIELD_HH
+#define VARSCHED_VARIUS_FIELD_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "solver/rng.hh"
+
+namespace varsched
+{
+
+/**
+ * A sampled n x n realisation of a random field over the unit square,
+ * with bilinear interpolation for off-grid queries.
+ */
+class FieldSample
+{
+  public:
+    FieldSample() = default;
+
+    /** @param n Grid points per side. @param values Row-major n*n. */
+    FieldSample(std::size_t n, std::vector<double> values);
+
+    /** Grid points per side. */
+    std::size_t size() const { return n_; }
+
+    /** Raw value at grid coordinates (row, col). */
+    double at(std::size_t row, std::size_t col) const
+    { return values_[row * n_ + col]; }
+
+    /**
+     * Bilinearly interpolated value at normalised die coordinates.
+     * @param x In [0, 1], left to right.
+     * @param y In [0, 1], bottom to top.
+     */
+    double sample(double x, double y) const;
+
+    /** Mean of all grid values. */
+    double mean() const;
+    /** Sample standard deviation of all grid values. */
+    double stddev() const;
+
+    /**
+     * Write the field as a binary PGM greyscale image (darker =
+     * lower value), the visual of the paper's Fig 3 map overlay.
+     *
+     * @param path Output file.
+     * @retval true on success.
+     */
+    bool writePgm(const std::string &path) const;
+
+  private:
+    std::size_t n_ = 0;
+    std::vector<double> values_;
+};
+
+/** Which generation back-end to use. */
+enum class FieldMethod { Cholesky, CirculantFFT };
+
+/**
+ * Generate one realisation of the spherically-correlated field.
+ *
+ * @param n Grid points per side of the die.
+ * @param phi Correlation range as a fraction of the die width.
+ * @param rng Seeded generator; each die forks its own stream.
+ * @param method Back-end; Cholesky is O(n^6) in memory/time and only
+ *        sensible for n <= ~48.
+ * @return Unit-variance sample (variance is exact for Cholesky and
+ *         renormalised for the clamped circulant spectrum).
+ */
+FieldSample generateField(std::size_t n, double phi, Rng &rng,
+                          FieldMethod method = FieldMethod::CirculantFFT);
+
+} // namespace varsched
+
+#endif // VARSCHED_VARIUS_FIELD_HH

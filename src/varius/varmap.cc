@@ -1,0 +1,84 @@
+#include "varius/varmap.hh"
+
+#include <cassert>
+#include <cmath>
+
+namespace varsched
+{
+
+VariationMap::VariationMap(const VariationParams &params,
+                           FieldSample vthField, FieldSample leffField)
+    : params_(params), vthField_(std::move(vthField)),
+      leffField_(std::move(leffField))
+{
+    const double sysFrac = params_.systematicVarianceFraction;
+    assert(sysFrac >= 0.0 && sysFrac <= 1.0);
+
+    const double vthSigmaTotal = params_.vthMean * params_.vthSigmaOverMu;
+    vthSigmaSys_ = vthSigmaTotal * std::sqrt(sysFrac);
+    vthSigmaRan_ = vthSigmaTotal * std::sqrt(1.0 - sysFrac);
+
+    const double leffSigmaTotal = params_.leffMean *
+        params_.vthSigmaOverMu * params_.leffSigmaFactor;
+    leffSigmaSys_ = leffSigmaTotal * std::sqrt(sysFrac);
+    leffSigmaRan_ = leffSigmaTotal * std::sqrt(1.0 - sysFrac);
+}
+
+void
+VariationMap::setDieOffsets(double vthOffset, double leffOffset)
+{
+    vthD2d_ = vthOffset;
+    leffD2d_ = leffOffset;
+}
+
+double
+VariationMap::vthAt(double x, double y) const
+{
+    return params_.vthMean + vthD2d_ +
+        vthSigmaSys_ * vthField_.sample(x, y);
+}
+
+double
+VariationMap::leffAt(double x, double y) const
+{
+    return params_.leffMean + leffD2d_ +
+        leffSigmaSys_ * leffField_.sample(x, y);
+}
+
+VariationMap
+generateVariationMap(const VariationParams &params, Rng &rng)
+{
+    // Two independent unit fields; Leff is field A, and Vth partially
+    // tracks it (the systematic Vth component depends on gate length).
+    FieldSample fieldA =
+        generateField(params.gridSize, params.phi, rng, params.method);
+    FieldSample fieldB =
+        generateField(params.gridSize, params.phi, rng, params.method);
+
+    const double corr = params.vthLeffCorrelation;
+    assert(corr >= -1.0 && corr <= 1.0);
+    const double ortho = std::sqrt(1.0 - corr * corr);
+
+    const std::size_t n = params.gridSize;
+    std::vector<double> vthValues(n * n);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < n; ++c)
+            vthValues[r * n + c] =
+                corr * fieldA.at(r, c) + ortho * fieldB.at(r, c);
+
+    VariationMap map(params, FieldSample(n, std::move(vthValues)),
+                     std::move(fieldA));
+
+    // Die-to-die component: one offset for the whole die, with Leff
+    // tracking Vth at the same ratio as the WID components.
+    if (params.d2dSigmaOverMu > 0.0) {
+        const double draw = rng.normal();
+        map.setDieOffsets(
+            draw * params.vthMean * params.d2dSigmaOverMu,
+            draw * params.leffMean * params.d2dSigmaOverMu *
+                params.leffSigmaFactor);
+    }
+    return map;
+}
+
+} // namespace varsched

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Per-die Vth / Leff variation maps (the VARIUS model, Section 3).
+ *
+ * Each manufactured die carries two spatially-correlated systematic
+ * fields (for Vth and Leff) plus per-transistor random components
+ * characterised only by their sigma — random effects are applied
+ * statistically where they matter (path-delay averaging, SRAM worst
+ * cell, leakage expectation) rather than stored per transistor.
+ */
+
+#ifndef VARSCHED_VARIUS_VARMAP_HH
+#define VARSCHED_VARIUS_VARMAP_HH
+
+#include <cstddef>
+
+#include "solver/rng.hh"
+#include "varius/field.hh"
+
+namespace varsched
+{
+
+/** Technology / variation parameters (Table 4 of the paper). */
+struct VariationParams
+{
+    /** Mean threshold voltage at the 60 C reference, in volts. */
+    double vthMean = 0.250;
+    /** Total sigma/mu for Vth (paper sweeps 0.03-0.12, default 0.12). */
+    double vthSigmaOverMu = 0.12;
+    /** Leff sigma/mu as a fraction of Vth's (1999 ITRS: half). */
+    double leffSigmaFactor = 0.5;
+    /**
+     * Fraction of total Vth/Leff *variance* that is systematic; the
+     * paper assumes equal systematic and random variances (0.5).
+     */
+    double systematicVarianceFraction = 0.5;
+    /** Correlation range as a fraction of die width. */
+    double phi = 0.5;
+    /**
+     * Die-to-die sigma/mu for Vth: a per-die constant offset on top
+     * of the within-die structure (Section 3 of the paper splits
+     * variation into D2D and WID; the paper's evaluation — and our
+     * default — sets this to 0 and studies WID only. The binning
+     * example turns it on.)
+     */
+    double d2dSigmaOverMu = 0.0;
+    /**
+     * Correlation between the Vth and Leff systematic fields; Vth's
+     * systematic component partially tracks gate length.
+     */
+    double vthLeffCorrelation = 0.6;
+    /** Grid points per die side for the systematic fields. */
+    std::size_t gridSize = 128;
+    /** Nominal effective gate length, normalised to 1. */
+    double leffMean = 1.0;
+    /** Field generation back-end. */
+    FieldMethod method = FieldMethod::CirculantFFT;
+};
+
+/**
+ * One die's worth of variation: systematic Vth and Leff fields over
+ * the unit-square die, plus the random-component sigmas.
+ */
+class VariationMap
+{
+  public:
+    VariationMap(const VariationParams &params, FieldSample vthField,
+                 FieldSample leffField);
+
+    /**
+     * Systematic Vth at normalised die coordinates, in volts, at the
+     * 60 C reference temperature (temperature adjustment is applied by
+     * the timing/leakage models).
+     */
+    double vthAt(double x, double y) const;
+
+    /** Systematic Leff at normalised die coordinates (nominal = 1). */
+    double leffAt(double x, double y) const;
+
+    /** Std-dev of the per-transistor random Vth component, volts. */
+    double vthSigmaRandom() const { return vthSigmaRan_; }
+    /** Std-dev of the per-transistor random Leff component. */
+    double leffSigmaRandom() const { return leffSigmaRan_; }
+
+    /** Set this die's D2D offsets (volts; normalised Leff units). */
+    void setDieOffsets(double vthOffset, double leffOffset);
+    /** This die's D2D Vth offset, volts. */
+    double vthDieOffset() const { return vthD2d_; }
+
+    /** Parameters this map was generated with. */
+    const VariationParams &params() const { return params_; }
+
+    /** Raw systematic Vth field (for visualisation / tests). */
+    const FieldSample &vthField() const { return vthField_; }
+    /** Raw systematic Leff field. */
+    const FieldSample &leffField() const { return leffField_; }
+
+  private:
+    VariationParams params_;
+    FieldSample vthField_;
+    FieldSample leffField_;
+    double vthSigmaSys_;
+    double vthSigmaRan_;
+    double leffSigmaSys_;
+    double leffSigmaRan_;
+    double vthD2d_ = 0.0;
+    double leffD2d_ = 0.0;
+};
+
+/**
+ * Manufacture one die: draw correlated systematic fields for Vth and
+ * Leff from the given stream.
+ */
+VariationMap generateVariationMap(const VariationParams &params, Rng &rng);
+
+} // namespace varsched
+
+#endif // VARSCHED_VARIUS_VARMAP_HH

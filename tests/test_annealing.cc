@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Unit tests for the simulated-annealing driver: convergence on
+ * convex and deceptive landscapes, determinism, bound respect, and
+ * budget accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+#include "solver/annealing.hh"
+
+namespace varsched
+{
+namespace
+{
+
+TEST(Annealing, FindsMinimumOfConvexBowl)
+{
+    // Energy = sum (x_i - 7)^2 over 5 coordinates in [0, 16).
+    const std::vector<int> init{0, 15, 3, 12, 8};
+    const std::vector<int> levels(5, 16);
+    AnnealOptions opts;
+    opts.maxEvals = 20000;
+    opts.seed = 3;
+    const auto energy = [](const std::vector<int> &s) {
+        double e = 0.0;
+        for (int v : s)
+            e += (v - 7.0) * (v - 7.0);
+        return e;
+    };
+    const auto r = annealMinimize(init, levels, energy, opts);
+    EXPECT_NEAR(r.bestEnergy, 0.0, 1e-12);
+    for (int v : r.best)
+        EXPECT_EQ(v, 7);
+}
+
+TEST(Annealing, EscapesLocalMinimum)
+{
+    // 1D deceptive landscape: local minimum at 2, global at 18, with a
+    // barrier between them.
+    const auto energy = [](const std::vector<int> &s) {
+        const double x = s[0];
+        const double local = (x - 2.0) * (x - 2.0) + 5.0;
+        const double global = 2.0 * (x - 18.0) * (x - 18.0);
+        return std::min(local, global);
+    };
+    AnnealOptions opts;
+    opts.maxEvals = 30000;
+    opts.initialTemp = 20.0;
+    opts.seed = 11;
+    const auto r = annealMinimize({2}, {20}, energy, opts);
+    EXPECT_EQ(r.best[0], 18);
+    EXPECT_NEAR(r.bestEnergy, 0.0, 1e-12);
+}
+
+TEST(Annealing, RespectsBounds)
+{
+    const auto energy = [](const std::vector<int> &s) {
+        return -static_cast<double>(s[0] + s[1]); // push to upper bound
+    };
+    AnnealOptions opts;
+    opts.maxEvals = 5000;
+    opts.seed = 5;
+    const auto r = annealMinimize({0, 0}, {4, 9}, energy, opts);
+    EXPECT_EQ(r.best[0], 3);
+    EXPECT_EQ(r.best[1], 8);
+}
+
+TEST(Annealing, DeterministicGivenSeed)
+{
+    const auto energy = [](const std::vector<int> &s) {
+        return std::abs(s[0] - 13.0) + std::abs(s[1] - 4.0);
+    };
+    AnnealOptions opts;
+    opts.maxEvals = 2000;
+    opts.seed = 77;
+    const auto r1 = annealMinimize({0, 0}, {32, 32}, energy, opts);
+    const auto r2 = annealMinimize({0, 0}, {32, 32}, energy, opts);
+    EXPECT_EQ(r1.best, r2.best);
+    EXPECT_EQ(r1.evals, r2.evals);
+    EXPECT_EQ(r1.accepted, r2.accepted);
+}
+
+TEST(Annealing, HonoursEvalBudget)
+{
+    const auto energy = [](const std::vector<int> &) { return 1.0; };
+    AnnealOptions opts;
+    opts.maxEvals = 123;
+    const auto r = annealMinimize({0}, {10}, energy, opts);
+    EXPECT_EQ(r.evals, 123u);
+}
+
+TEST(Annealing, BestNeverWorseThanInitial)
+{
+    const auto energy = [](const std::vector<int> &s) {
+        return static_cast<double>(s[0] % 7) * 3.0 + (s[0] == 20 ? -50 : 0);
+    };
+    AnnealOptions opts;
+    opts.maxEvals = 500;
+    opts.seed = 9;
+    const double initialEnergy = energy({3});
+    const auto r = annealMinimize({3}, {32}, energy, opts);
+    EXPECT_LE(r.bestEnergy, initialEnergy);
+}
+
+TEST(Annealing, EmptyStateIsNoop)
+{
+    const auto energy = [](const std::vector<int> &) { return 4.0; };
+    const auto r = annealMinimize({}, {}, energy, {});
+    EXPECT_EQ(r.evals, 1u);
+    EXPECT_DOUBLE_EQ(r.bestEnergy, 4.0);
+}
+
+} // namespace
+} // namespace varsched

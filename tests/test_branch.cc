@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Unit tests for the gshare branch predictor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cmpsim/branch.hh"
+#include "solver/rng.hh"
+
+namespace varsched
+{
+namespace
+{
+
+TEST(Branch, LearnsAlwaysTaken)
+{
+    BranchPredictor bp;
+    for (int i = 0; i < 1000; ++i)
+        bp.resolve(0x400100, true);
+    EXPECT_LT(bp.mispredictRatio(), 0.05);
+}
+
+TEST(Branch, LearnsAlwaysNotTaken)
+{
+    BranchPredictor bp;
+    for (int i = 0; i < 1000; ++i)
+        bp.resolve(0x400200, false);
+    EXPECT_LT(bp.mispredictRatio(), 0.05);
+}
+
+TEST(Branch, LearnsAlternatingPattern)
+{
+    // Global history lets gshare capture strict alternation.
+    BranchPredictor bp;
+    for (int i = 0; i < 4000; ++i)
+        bp.resolve(0x400300, i % 2 == 0);
+    EXPECT_LT(bp.mispredictRatio(), 0.20);
+}
+
+TEST(Branch, RandomBranchesNearHalf)
+{
+    BranchPredictor bp;
+    Rng rng(3);
+    for (int i = 0; i < 20000; ++i)
+        bp.resolve(0x400400, rng.uniform() < 0.5);
+    EXPECT_NEAR(bp.mispredictRatio(), 0.5, 0.07);
+}
+
+TEST(Branch, BiasedBranchesMostlyPredicted)
+{
+    BranchPredictor bp;
+    Rng rng(7);
+    for (int i = 0; i < 20000; ++i)
+        bp.resolve(0x400500, rng.uniform() < 0.95);
+    EXPECT_LT(bp.mispredictRatio(), 0.15);
+}
+
+TEST(Branch, CountsAreConsistent)
+{
+    BranchPredictor bp;
+    Rng rng(9);
+    for (int i = 0; i < 500; ++i)
+        bp.resolve(0x400000 + 4 * (i % 7), rng.uniform() < 0.7);
+    EXPECT_EQ(bp.branches(), 500u);
+    EXPECT_LE(bp.mispredicts(), bp.branches());
+}
+
+TEST(Branch, PredictMatchesResolveOutcome)
+{
+    BranchPredictor bp;
+    Rng rng(11);
+    for (int i = 0; i < 2000; ++i) {
+        const std::uint64_t pc = 0x400000 + 4 * rng.below(16);
+        const bool predicted = bp.predict(pc);
+        const bool taken = rng.uniform() < 0.8;
+        const bool correct = bp.resolve(pc, taken);
+        EXPECT_EQ(correct, predicted == taken);
+    }
+}
+
+} // namespace
+} // namespace varsched

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Unit tests for the set-associative LRU cache model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cmpsim/cache.hh"
+
+namespace varsched
+{
+namespace
+{
+
+TEST(Cache, ConfigsMatchTable4)
+{
+    const auto l1 = l1Config();
+    EXPECT_EQ(l1.sizeBytes, 16u * 1024);
+    EXPECT_EQ(l1.associativity, 2u);
+    EXPECT_EQ(l1.lineBytes, 64u);
+    const auto l2 = l2Config();
+    EXPECT_EQ(l2.sizeBytes, 8u * 1024 * 1024);
+    EXPECT_EQ(l2.associativity, 8u);
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c(l1Config());
+    EXPECT_FALSE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1030)); // same 64 B line
+    EXPECT_EQ(c.misses(), 1u);
+    EXPECT_EQ(c.accesses(), 3u);
+}
+
+TEST(Cache, DistinctLinesMissSeparately)
+{
+    Cache c(l1Config());
+    EXPECT_FALSE(c.access(0x0));
+    EXPECT_FALSE(c.access(0x40));
+    EXPECT_TRUE(c.access(0x0));
+    EXPECT_TRUE(c.access(0x40));
+}
+
+TEST(Cache, LruEvictsOldest)
+{
+    // 2-way: three lines mapping to the same set evict the LRU one.
+    Cache c(l1Config());
+    const std::size_t sets = c.numSets();
+    const std::uint64_t stride = 64ull * sets; // same set, new tag
+    c.access(0);
+    c.access(stride);
+    c.access(0);          // touch 0 -> stride becomes LRU
+    c.access(2 * stride); // evicts stride
+    EXPECT_TRUE(c.contains(0));
+    EXPECT_FALSE(c.contains(stride));
+    EXPECT_TRUE(c.contains(2 * stride));
+}
+
+TEST(Cache, WorkingSetSmallerThanCacheStaysResident)
+{
+    Cache c(l1Config());
+    // 8 KB working set in a 16 KB cache: after one pass, all hits.
+    for (std::uint64_t a = 0; a < 8192; a += 64)
+        c.access(a);
+    for (int pass = 0; pass < 3; ++pass)
+        for (std::uint64_t a = 0; a < 8192; a += 64)
+            EXPECT_TRUE(c.access(a));
+}
+
+TEST(Cache, WorkingSetLargerThanCacheThrashes)
+{
+    Cache c(l1Config());
+    // Sequential scan of 64 KB through a 16 KB cache: every access a
+    // miss once past the first lap too (LRU + sequential = no reuse).
+    for (int pass = 0; pass < 2; ++pass)
+        for (std::uint64_t a = 0; a < 65536; a += 64)
+            c.access(a);
+    EXPECT_GT(c.missRatio(), 0.99);
+}
+
+TEST(Cache, FlushForgetsEverything)
+{
+    Cache c(l1Config());
+    c.access(0x7000);
+    EXPECT_TRUE(c.contains(0x7000));
+    c.flush();
+    EXPECT_FALSE(c.contains(0x7000));
+}
+
+TEST(Cache, MissRatioZeroWhenUntouched)
+{
+    Cache c(l1Config());
+    EXPECT_DOUBLE_EQ(c.missRatio(), 0.0);
+}
+
+TEST(Cache, L2HoldsMegabyteWorkingSet)
+{
+    Cache c(l2Config());
+    for (std::uint64_t a = 0; a < (1 << 20); a += 64)
+        c.access(a);
+    std::uint64_t missesBefore = c.misses();
+    for (std::uint64_t a = 0; a < (1 << 20); a += 64)
+        c.access(a);
+    EXPECT_EQ(c.misses(), missesBefore); // second lap all hits
+}
+
+} // namespace
+} // namespace varsched

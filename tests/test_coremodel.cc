@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Tests for the trace generator and the trace-driven core timing
+ * model: mix statistics, miss-rate targeting, IPC correlation with
+ * the Table 5 anchors, and the IPC(f) frequency response.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "cmpsim/core.hh"
+#include "cmpsim/perfmodel.hh"
+#include "cmpsim/tracegen.hh"
+#include "cmpsim/workload.hh"
+
+namespace varsched
+{
+namespace
+{
+
+TEST(TraceGen, MixMatchesProfile)
+{
+    const auto &app = findApplication("bzip2");
+    TraceGenerator gen(app, Rng(3));
+    std::map<InstrType, int> counts;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[gen.next().type];
+    const double branchFrac =
+        static_cast<double>(counts[InstrType::Branch]) / n;
+    const double memFrac = static_cast<double>(
+        counts[InstrType::Load] + counts[InstrType::Store]) / n;
+    EXPECT_NEAR(branchFrac, app.branchFraction, 0.02);
+    EXPECT_NEAR(memFrac, app.memFraction, 0.02);
+}
+
+TEST(TraceGen, LoadsOutnumberStores)
+{
+    const auto &app = findApplication("gap");
+    TraceGenerator gen(app, Rng(5));
+    int loads = 0, stores = 0;
+    for (int i = 0; i < 50000; ++i) {
+        const auto instr = gen.next();
+        loads += instr.type == InstrType::Load;
+        stores += instr.type == InstrType::Store;
+    }
+    EXPECT_GT(loads, stores);
+    EXPECT_NEAR(static_cast<double>(loads) / (loads + stores), 0.67,
+                0.05);
+}
+
+TEST(TraceGen, FpAppsEmitFpOps)
+{
+    TraceGenerator fpGen(findApplication("swim"), Rng(7));
+    TraceGenerator intGen(findApplication("gzip"), Rng(7));
+    int fpA = 0, fpB = 0;
+    for (int i = 0; i < 20000; ++i) {
+        fpA += fpGen.next().type == InstrType::FpAlu;
+        fpB += intGen.next().type == InstrType::FpAlu;
+    }
+    EXPECT_GT(fpA, fpB * 5);
+}
+
+TEST(TraceGen, DependencyDistancesBounded)
+{
+    TraceGenerator gen(findApplication("mcf"), Rng(9));
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LE(gen.next().depDistance, 64u);
+}
+
+TEST(CoreModel, MissRatesTrackProfileTargets)
+{
+    // The three-pool address generator should land the measured
+    // per-instruction L2-miss (memory) rate near each profile's
+    // memMpi — the quantity the analytic model depends on.
+    for (const auto *name : {"mcf", "apsi", "bzip2", "swim"}) {
+        const auto &app = findApplication(name);
+        const auto m = measureApplication(app, 150000);
+        const double target = app.memMpi * 1000.0;
+        EXPECT_NEAR(m.stats.l2Mpki(), target, target * 0.35 + 0.1)
+            << name;
+    }
+}
+
+TEST(CoreModel, IpcCorrelatesWithTable5)
+{
+    // Measured IPC must track the Table 5 anchors in both rank and
+    // rough magnitude (the analytic profiles are the calibrated
+    // ground truth; the detailed model validates them).
+    double worstRel = 0.0;
+    for (const auto &app : specApplications()) {
+        const auto m = measureApplication(app, 120000);
+        const double rel = m.ipc / app.ipcAt4GHz;
+        EXPECT_GT(rel, 0.55) << app.name;
+        EXPECT_LT(rel, 1.9) << app.name;
+        worstRel = std::max(worstRel, std::abs(std::log(rel)));
+    }
+    EXPECT_LT(worstRel, std::log(2.0));
+}
+
+TEST(CoreModel, HighIpcAppsBeatLowIpcApps)
+{
+    const auto fast = measureApplication(findApplication("vortex"), 100000);
+    const auto slow = measureApplication(findApplication("mcf"), 100000);
+    EXPECT_GT(fast.ipc, slow.ipc * 4.0);
+}
+
+TEST(CoreModel, IpcRisesAtLowerFrequency)
+{
+    // Memory latency is fixed in ns: halving f must raise per-cycle
+    // IPC, much more for memory-bound mcf than compute-bound crafty.
+    const auto &mcf = findApplication("mcf");
+    const auto &crafty = findApplication("crafty");
+    const double mcfGain =
+        measureApplication(mcf, 100000, 2.0e9).ipc /
+        measureApplication(mcf, 100000, 4.0e9).ipc;
+    const double craftyGain =
+        measureApplication(crafty, 100000, 2.0e9).ipc /
+        measureApplication(crafty, 100000, 4.0e9).ipc;
+    EXPECT_GT(mcfGain, 1.3);
+    EXPECT_LT(craftyGain, 1.15);
+    EXPECT_GT(craftyGain, 0.97);
+}
+
+TEST(CoreModel, ThroughputRisesWithFrequency)
+{
+    for (const auto *name : {"mcf", "gzip", "vortex"}) {
+        const auto &app = findApplication(name);
+        const double ipsLow =
+            measureApplication(app, 80000, 2.0e9).ipc * 2.0e9;
+        const double ipsHigh =
+            measureApplication(app, 80000, 4.0e9).ipc * 4.0e9;
+        EXPECT_GT(ipsHigh, ipsLow) << name;
+    }
+}
+
+TEST(CoreModel, DynamicPowerCorrelatesWithTable5)
+{
+    for (const auto &app : specApplications()) {
+        const auto m = measureApplication(app, 120000);
+        EXPECT_GT(m.dynPowerW, app.dynPowerW * 0.55) << app.name;
+        EXPECT_LT(m.dynPowerW, app.dynPowerW * 1.6) << app.name;
+    }
+}
+
+TEST(CoreModel, ActivityFactorsAreSane)
+{
+    const auto m = measureApplication(findApplication("vortex"), 80000);
+    for (double a : m.stats.unitActivity) {
+        EXPECT_GE(a, 0.0);
+        EXPECT_LE(a, 1.0);
+    }
+    // An integer app keeps the FP unit nearly idle.
+    EXPECT_LT(m.stats.unitActivity[static_cast<std::size_t>(
+                  CoreUnit::FpExec)],
+              0.1);
+}
+
+TEST(CoreModel, DeterministicGivenSeed)
+{
+    const auto &app = findApplication("twolf");
+    const auto a = measureApplication(app, 50000, 4.0e9, 42);
+    const auto b = measureApplication(app, 50000, 4.0e9, 42);
+    EXPECT_EQ(a.stats.cycles, b.stats.cycles);
+    EXPECT_EQ(a.stats.l2Misses, b.stats.l2Misses);
+}
+
+TEST(CoreModel, StatsInternallyConsistent)
+{
+    const auto m = measureApplication(findApplication("parser"), 60000);
+    EXPECT_EQ(m.stats.instructions, 60000u);
+    EXPECT_GT(m.stats.cycles, 0u);
+    EXPECT_LE(m.stats.l2Misses, m.stats.l1dMisses);
+    EXPECT_LE(m.stats.branchMispredicts, m.stats.branches);
+    EXPECT_GT(m.stats.loads, m.stats.stores);
+}
+
+} // namespace
+} // namespace varsched

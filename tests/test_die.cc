@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests for the manufactured Die: binning tables, monotonicities,
+ * reproducibility, and batch manufacturing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chip/die.hh"
+
+namespace varsched
+{
+namespace
+{
+
+DieParams
+testParams()
+{
+    DieParams p;
+    p.variation.gridSize = 48; // keep die construction cheap in tests
+    return p;
+}
+
+class DieFixture : public ::testing::Test
+{
+  protected:
+    DieParams params_ = testParams();
+    Die die_{params_, 42};
+};
+
+TEST_F(DieFixture, GeometryMatchesParams)
+{
+    EXPECT_EQ(die_.numCores(), 20u);
+    EXPECT_EQ(die_.numLevels(), 9u);
+    EXPECT_DOUBLE_EQ(die_.voltage(0), 0.60);
+    EXPECT_DOUBLE_EQ(die_.voltage(die_.maxLevel()), 1.00);
+}
+
+TEST_F(DieFixture, FrequencyTableMonotoneInVoltage)
+{
+    for (std::size_t c = 0; c < die_.numCores(); ++c) {
+        for (std::size_t l = 1; l < die_.numLevels(); ++l) {
+            EXPECT_GE(die_.freqAt(c, l), die_.freqAt(c, l - 1))
+                << "core " << c << " level " << l;
+        }
+    }
+}
+
+TEST_F(DieFixture, FrequenciesQuantisedToStep)
+{
+    for (std::size_t c = 0; c < die_.numCores(); ++c) {
+        for (std::size_t l = 0; l < die_.numLevels(); ++l) {
+            const double steps =
+                die_.freqAt(c, l) / die_.params().freqStepHz;
+            EXPECT_NEAR(steps, std::round(steps), 1e-6);
+        }
+    }
+}
+
+TEST_F(DieFixture, StaticPowerTableMonotoneInVoltage)
+{
+    for (std::size_t c = 0; c < die_.numCores(); ++c) {
+        for (std::size_t l = 1; l < die_.numLevels(); ++l) {
+            EXPECT_GT(die_.staticPowerAt(c, l),
+                      die_.staticPowerAt(c, l - 1));
+        }
+    }
+}
+
+TEST_F(DieFixture, CoresAreHeterogeneous)
+{
+    double fLo = 1e300, fHi = 0.0, pLo = 1e300, pHi = 0.0;
+    for (std::size_t c = 0; c < die_.numCores(); ++c) {
+        fLo = std::min(fLo, die_.maxFreq(c));
+        fHi = std::max(fHi, die_.maxFreq(c));
+        pLo = std::min(pLo, die_.staticPowerAt(c, die_.maxLevel()));
+        pHi = std::max(pHi, die_.staticPowerAt(c, die_.maxLevel()));
+    }
+    EXPECT_GT(fHi / fLo, 1.05);
+    EXPECT_GT(pHi / pLo, 1.15);
+}
+
+TEST_F(DieFixture, UniformFreqIsSlowestCore)
+{
+    double slowest = 1e300;
+    for (std::size_t c = 0; c < die_.numCores(); ++c)
+        slowest = std::min(slowest, die_.maxFreq(c));
+    EXPECT_DOUBLE_EQ(die_.uniformFreq(), slowest);
+}
+
+TEST_F(DieFixture, SameSeedSameDie)
+{
+    Die die2(params_, 42);
+    for (std::size_t c = 0; c < die_.numCores(); ++c) {
+        EXPECT_DOUBLE_EQ(die_.maxFreq(c), die2.maxFreq(c));
+        EXPECT_DOUBLE_EQ(die_.staticPowerAt(c, 0),
+                         die2.staticPowerAt(c, 0));
+    }
+}
+
+TEST_F(DieFixture, DifferentSeedDifferentDie)
+{
+    Die die2(params_, 43);
+    double diff = 0.0;
+    for (std::size_t c = 0; c < die_.numCores(); ++c)
+        diff += std::abs(die_.maxFreq(c) - die2.maxFreq(c));
+    EXPECT_GT(diff, 1.0e6);
+}
+
+TEST_F(DieFixture, LeakageRisesWithTemperatureAndVoltage)
+{
+    const double base = die_.leakagePower(0, 0.8, 60.0);
+    EXPECT_GT(die_.leakagePower(0, 0.8, 95.0), base);
+    EXPECT_GT(die_.leakagePower(0, 1.0, 60.0), base);
+}
+
+TEST(DieBatch, ManufacturesDistinctReproducibleDies)
+{
+    DieParams p = testParams();
+    const auto batchA = manufactureBatch(p, 3, 99);
+    const auto batchB = manufactureBatch(p, 3, 99);
+    ASSERT_EQ(batchA.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_DOUBLE_EQ(batchA[i].maxFreq(0), batchB[i].maxFreq(0));
+    EXPECT_NE(batchA[0].maxFreq(0), batchA[1].maxFreq(0));
+}
+
+TEST(DieBatch, NominalDieHitsFourGigahertz)
+{
+    DieParams p = testParams();
+    p.variation.vthSigmaOverMu = 0.0;
+    Die die(p, 7);
+    for (std::size_t c = 0; c < die.numCores(); ++c) {
+        EXPECT_NEAR(die.maxFreq(c), 4.0e9, p.freqStepHz + 1.0)
+            << "core " << c;
+    }
+}
+
+} // namespace
+} // namespace varsched

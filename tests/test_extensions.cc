@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the remaining extensions: Adaptive Body Bias on the Die,
+ * the thermal-aware migrating scheduler, and the voltage-transition
+ * overhead in the system simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "chip/die.hh"
+#include "core/sched.hh"
+#include "core/system.hh"
+
+namespace varsched
+{
+namespace
+{
+
+DieParams
+testParams(double abb = 0.0)
+{
+    DieParams p;
+    p.variation.gridSize = 48;
+    p.abbStrength = abb;
+    return p;
+}
+
+TEST(Abb, ReducesFrequencySpread)
+{
+    const Die plain(testParams(0.0), 55);
+    const Die biased(testParams(1.0), 55);
+    auto ratio = [](const Die &die) {
+        double lo = 1e300, hi = 0.0;
+        for (std::size_t c = 0; c < die.numCores(); ++c) {
+            lo = std::min(lo, die.maxFreq(c));
+            hi = std::max(hi, die.maxFreq(c));
+        }
+        return hi / lo;
+    };
+    EXPECT_LT(ratio(biased), ratio(plain));
+}
+
+TEST(Abb, ForwardBiasOnly)
+{
+    const Die biased(testParams(1.0), 55);
+    bool anyBias = false;
+    for (std::size_t c = 0; c < biased.numCores(); ++c) {
+        EXPECT_LE(biased.vthBias(c), 0.0); // never reverse
+        EXPECT_GE(biased.vthBias(c),
+                  -biased.params().abbMaxBiasV - 1e-12);
+        anyBias = anyBias || biased.vthBias(c) < -1e-6;
+    }
+    EXPECT_TRUE(anyBias);
+}
+
+TEST(Abb, SlowCoresGetFasterNotSlower)
+{
+    const Die plain(testParams(0.0), 55);
+    const Die biased(testParams(1.0), 55);
+    for (std::size_t c = 0; c < plain.numCores(); ++c)
+        EXPECT_GE(biased.maxFreq(c), plain.maxFreq(c) - 1e-6);
+}
+
+TEST(Abb, CostsLeakageOnBiasedCores)
+{
+    const Die plain(testParams(0.0), 55);
+    const Die biased(testParams(1.0), 55);
+    double plainTotal = 0.0, biasedTotal = 0.0;
+    for (std::size_t c = 0; c < plain.numCores(); ++c) {
+        plainTotal += plain.staticPowerAt(c, plain.maxLevel());
+        biasedTotal += biased.staticPowerAt(c, biased.maxLevel());
+        if (biased.vthBias(c) < -1e-6) {
+            EXPECT_GT(biased.staticPowerAt(c, biased.maxLevel()),
+                      plain.staticPowerAt(c, plain.maxLevel()));
+        }
+    }
+    EXPECT_GT(biasedTotal, plainTotal);
+}
+
+TEST(Abb, ZeroStrengthIsIdentity)
+{
+    const Die a(testParams(0.0), 77);
+    for (std::size_t c = 0; c < a.numCores(); ++c)
+        EXPECT_DOUBLE_EQ(a.vthBias(c), 0.0);
+}
+
+TEST(ThermalSched, MapsHotThreadsToCoolCores)
+{
+    const Die die(testParams(), 31);
+    std::vector<const AppProfile *> apps = {
+        &findApplication("vortex"), // 4.4 W
+        &findApplication("mcf")};   // 1.5 W
+    std::vector<double> temps(die.numCores(), 60.0);
+    temps[3] = 48.0; // coolest
+    temps[9] = 52.0; // second coolest
+    Rng rng(1);
+    const auto asg = scheduleThreadsThermal(die, apps, temps, rng);
+    EXPECT_EQ(asg[0], 3u); // hottest thread on coolest core
+    EXPECT_EQ(asg[1], 9u);
+}
+
+TEST(ThermalSched, RotatesAsTemperaturesEvolve)
+{
+    const Die die(testParams(), 31);
+    std::vector<const AppProfile *> apps = {&findApplication("gap")};
+    Rng rng(2);
+    std::vector<double> temps(die.numCores(), 60.0);
+    std::set<std::size_t> coresUsed;
+    for (int round = 0; round < 6; ++round) {
+        const auto asg = scheduleThreadsThermal(die, apps, temps, rng);
+        coresUsed.insert(asg[0]);
+        temps[asg[0]] += 20.0; // the loaded core heats up
+    }
+    EXPECT_GE(coresUsed.size(), 5u); // migration happened
+}
+
+TEST(ThermalSched, SystemRunSpreadsWearVsPinnedPolicy)
+{
+    const Die die(testParams(), 13);
+    Rng rng(5);
+    const auto apps = randomWorkload(6, rng);
+
+    SystemConfig pinned;
+    pinned.sched = SchedAlgo::VarPAppP; // fixed lowest-leakage cores
+    pinned.pm = PmKind::None;
+    pinned.durationMs = 200.0;
+    pinned.osIntervalMs = 25.0;
+    SystemConfig migrating = pinned;
+    migrating.sched = SchedAlgo::ThermalAware;
+
+    SystemSimulator simP(die, apps, pinned);
+    SystemSimulator simM(die, apps, migrating);
+    const auto rp = simP.run();
+    const auto rm = simM.run();
+    EXPECT_LT(rm.worstAgingRate, rp.worstAgingRate);
+    EXPECT_GT(rm.projectedLifetimeYears, rp.projectedLifetimeYears);
+}
+
+TEST(Transitions, OverheadReducesThroughput)
+{
+    const Die die(testParams(), 21);
+    Rng rng(7);
+    const auto apps = randomWorkload(12, rng);
+
+    SystemConfig fast;
+    fast.sched = SchedAlgo::VarFAppIPC;
+    fast.pm = PmKind::LinOpt;
+    fast.ptargetW = 45.0;
+    fast.durationMs = 150.0;
+    fast.dvfsIntervalMs = 2.0; // frequent switching
+    fast.transitionUsPerStep = 0.0;
+    SystemConfig slow = fast;
+    slow.transitionUsPerStep = 200.0;
+
+    SystemSimulator simFast(die, apps, fast);
+    SystemSimulator simSlow(die, apps, slow);
+    const auto rf = simFast.run();
+    const auto rs = simSlow.run();
+    EXPECT_DOUBLE_EQ(rf.transitionLossFraction, 0.0);
+    EXPECT_GT(rs.transitionLossFraction, 0.0);
+    EXPECT_LT(rs.avgMips, rf.avgMips);
+}
+
+TEST(Transitions, NoSwitchingNoLoss)
+{
+    const Die die(testParams(), 21);
+    Rng rng(9);
+    const auto apps = randomWorkload(8, rng);
+    SystemConfig c;
+    c.pm = PmKind::None; // levels never change
+    c.durationMs = 100.0;
+    c.transitionUsPerStep = 1000.0;
+    SystemSimulator sim(die, apps, c);
+    EXPECT_DOUBLE_EQ(sim.run().transitionLossFraction, 0.0);
+}
+
+} // namespace
+} // namespace varsched

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Tests for the Gaussian random field generator: correlogram shape,
+ * unit variance, spatial-correlation structure, agreement between the
+ * Cholesky and circulant back-ends, and interpolation behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "solver/rng.hh"
+#include "solver/stats.hh"
+#include "varius/correlation.hh"
+#include "varius/field.hh"
+
+namespace varsched
+{
+namespace
+{
+
+TEST(Correlation, SphericalEndpoints)
+{
+    EXPECT_DOUBLE_EQ(sphericalRho(0.0, 0.5), 1.0);
+    EXPECT_DOUBLE_EQ(sphericalRho(0.5, 0.5), 0.0);
+    EXPECT_DOUBLE_EQ(sphericalRho(0.7, 0.5), 0.0);
+}
+
+TEST(Correlation, MonotoneDecreasing)
+{
+    double prev = 1.0;
+    for (double r = 0.0; r <= 0.5; r += 0.01) {
+        const double rho = sphericalRho(r, 0.5);
+        EXPECT_LE(rho, prev + 1e-12);
+        EXPECT_GE(rho, 0.0);
+        prev = rho;
+    }
+}
+
+TEST(Correlation, KnownMidpointValue)
+{
+    // rho(phi/2) = 1 - 1.5*0.5 + 0.5*0.125 = 0.3125.
+    EXPECT_NEAR(sphericalRho(0.25, 0.5), 0.3125, 1e-12);
+}
+
+TEST(Correlation, SymmetricInDistance)
+{
+    EXPECT_DOUBLE_EQ(sphericalRho(-0.2, 0.5), sphericalRho(0.2, 0.5));
+}
+
+TEST(FieldSample, InterpolationMatchesGridPoints)
+{
+    // 2x2 grid with known corners.
+    FieldSample f(2, {1.0, 2.0, 3.0, 4.0});
+    EXPECT_NEAR(f.sample(0.0, 0.0), 1.0, 1e-12);
+    EXPECT_NEAR(f.sample(1.0, 0.0), 2.0, 1e-12);
+    EXPECT_NEAR(f.sample(0.0, 1.0), 3.0, 1e-12);
+    EXPECT_NEAR(f.sample(1.0, 1.0), 4.0, 1e-12);
+    // Centre is the average of the corners.
+    EXPECT_NEAR(f.sample(0.5, 0.5), 2.5, 1e-12);
+}
+
+TEST(FieldSample, ClampsOutOfRangeQueries)
+{
+    FieldSample f(2, {1.0, 2.0, 3.0, 4.0});
+    EXPECT_NEAR(f.sample(-1.0, -1.0), 1.0, 1e-12);
+    EXPECT_NEAR(f.sample(2.0, 2.0), 4.0, 1e-12);
+}
+
+TEST(Field, CholeskyUnitVarianceAcrossDies)
+{
+    // Pool many small dies: point variance should be ~1.
+    Rng rng(101);
+    Summary s;
+    for (int die = 0; die < 40; ++die) {
+        const auto f = generateField(12, 0.5, rng, FieldMethod::Cholesky);
+        for (std::size_t i = 0; i < 12; ++i)
+            for (std::size_t j = 0; j < 12; ++j)
+                s.add(f.at(i, j));
+    }
+    EXPECT_NEAR(s.mean(), 0.0, 0.15);
+    EXPECT_NEAR(s.stddev(), 1.0, 0.1);
+}
+
+TEST(Field, CirculantUnitVarianceAcrossDies)
+{
+    Rng rng(202);
+    Summary s;
+    for (int die = 0; die < 10; ++die) {
+        const auto f =
+            generateField(32, 0.5, rng, FieldMethod::CirculantFFT);
+        for (std::size_t i = 0; i < 32; ++i)
+            for (std::size_t j = 0; j < 32; ++j)
+                s.add(f.at(i, j));
+    }
+    EXPECT_NEAR(s.mean(), 0.0, 0.2);
+    EXPECT_NEAR(s.stddev(), 1.0, 0.12);
+}
+
+/**
+ * Empirical spatial correlation at grid distance d, pooled across
+ * dies, should track the spherical correlogram.
+ */
+double
+empiricalCorrelation(FieldMethod method, std::size_t n, double phi,
+                     std::size_t lag, int dies, std::uint64_t seed)
+{
+    Rng rng(seed);
+    double sum00 = 0.0, sum0 = 0.0, suml = 0.0, sum0l = 0.0, sumll = 0.0;
+    std::size_t count = 0;
+    for (int die = 0; die < dies; ++die) {
+        const auto f = generateField(n, phi, rng, method);
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = 0; j + lag < n; ++j) {
+                const double a = f.at(i, j);
+                const double b = f.at(i, j + lag);
+                sum0 += a;
+                suml += b;
+                sum00 += a * a;
+                sumll += b * b;
+                sum0l += a * b;
+                ++count;
+            }
+        }
+    }
+    const double c = static_cast<double>(count);
+    const double cov = sum0l / c - (sum0 / c) * (suml / c);
+    const double v0 = sum00 / c - (sum0 / c) * (sum0 / c);
+    const double vl = sumll / c - (suml / c) * (suml / c);
+    return cov / std::sqrt(v0 * vl);
+}
+
+struct CorrCase
+{
+    FieldMethod method;
+    std::size_t lag;
+};
+
+class FieldCorrelationTest : public ::testing::TestWithParam<CorrCase>
+{};
+
+TEST_P(FieldCorrelationTest, MatchesSphericalCorrelogram)
+{
+    const auto param = GetParam();
+    const std::size_t n = 24;
+    const double phi = 0.5;
+    const double step = 1.0 / static_cast<double>(n - 1);
+    const double expected =
+        sphericalRho(static_cast<double>(param.lag) * step, phi);
+    const double measured = empiricalCorrelation(
+        param.method, n, phi, param.lag, 60, 4242);
+    EXPECT_NEAR(measured, expected, 0.12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LagsAndMethods, FieldCorrelationTest,
+    ::testing::Values(CorrCase{FieldMethod::Cholesky, 1},
+                      CorrCase{FieldMethod::Cholesky, 4},
+                      CorrCase{FieldMethod::Cholesky, 10},
+                      CorrCase{FieldMethod::CirculantFFT, 1},
+                      CorrCase{FieldMethod::CirculantFFT, 4},
+                      CorrCase{FieldMethod::CirculantFFT, 10},
+                      CorrCase{FieldMethod::CirculantFFT, 20}));
+
+TEST(Field, DeterministicGivenSeed)
+{
+    Rng rngA(55), rngB(55);
+    const auto fa = generateField(16, 0.5, rngA);
+    const auto fb = generateField(16, 0.5, rngB);
+    for (std::size_t i = 0; i < 16; ++i)
+        for (std::size_t j = 0; j < 16; ++j)
+            EXPECT_DOUBLE_EQ(fa.at(i, j), fb.at(i, j));
+}
+
+TEST(Field, DifferentDiesDiffer)
+{
+    Rng rng(66);
+    const auto fa = generateField(16, 0.5, rng);
+    const auto fb = generateField(16, 0.5, rng);
+    double diff = 0.0;
+    for (std::size_t i = 0; i < 16; ++i)
+        for (std::size_t j = 0; j < 16; ++j)
+            diff += std::abs(fa.at(i, j) - fb.at(i, j));
+    EXPECT_GT(diff, 1.0);
+}
+
+} // namespace
+} // namespace varsched

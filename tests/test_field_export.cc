@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Tests for the PGM export of field samples (the Fig 3 map visual).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "solver/rng.hh"
+#include "varius/field.hh"
+
+namespace varsched
+{
+namespace
+{
+
+TEST(FieldExport, WritesValidPgmHeaderAndPayload)
+{
+    Rng rng(5);
+    const auto field = generateField(32, 0.5, rng);
+    const std::string path = "/tmp/varsched_test_field.pgm";
+    ASSERT_TRUE(field.writePgm(path));
+
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    std::string magic;
+    std::size_t w = 0, h = 0;
+    int maxval = 0;
+    in >> magic >> w >> h >> maxval;
+    EXPECT_EQ(magic, "P5") << "binary PGM expected";
+    EXPECT_EQ(w, 32u);
+    EXPECT_EQ(h, 32u);
+    EXPECT_EQ(maxval, 255);
+    in.get(); // the single whitespace after maxval
+    std::string payload((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_EQ(payload.size(), 32u * 32u);
+    std::remove(path.c_str());
+}
+
+TEST(FieldExport, UsesFullGreyscaleRange)
+{
+    Rng rng(9);
+    const auto field = generateField(24, 0.5, rng);
+    const std::string path = "/tmp/varsched_test_field2.pgm";
+    ASSERT_TRUE(field.writePgm(path));
+    std::ifstream in(path, std::ios::binary);
+    std::string all((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+    // Payload must contain both a 0 (min) and a 255 (max) pixel.
+    const std::string payload = all.substr(all.size() - 24 * 24);
+    bool has0 = false, has255 = false;
+    for (unsigned char ch : payload) {
+        has0 = has0 || ch == 0;
+        has255 = has255 || ch == 255;
+    }
+    EXPECT_TRUE(has0);
+    EXPECT_TRUE(has255);
+    std::remove(path.c_str());
+}
+
+TEST(FieldExport, RejectsUnwritablePath)
+{
+    Rng rng(11);
+    const auto field = generateField(8, 0.5, rng);
+    EXPECT_FALSE(field.writePgm("/nonexistent_dir_xyz/field.pgm"));
+}
+
+} // namespace
+} // namespace varsched

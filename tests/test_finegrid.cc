@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for the fine-grained (per-functional-unit) thermal model:
+ * consistency with the coarse model on uniform power, within-core
+ * hotspot behaviour, and the power-map builder.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "thermal/finegrid.hh"
+
+namespace varsched
+{
+namespace
+{
+
+class FineGridFixture : public ::testing::Test
+{
+  protected:
+    Floorplan plan_;
+    FineThermalModel fine_{plan_};
+    ThermalModel coarse_{plan_};
+
+    /** Uniform per-unit power map: every core burns @p coreW. */
+    std::vector<double>
+    uniformMap(double coreW, double l2W) const
+    {
+        std::vector<std::array<double, kNumCoreUnits>> dyn(
+            plan_.numCores());
+        std::vector<double> leak(plan_.numCores(), 0.0);
+        for (std::size_t c = 0; c < plan_.numCores(); ++c) {
+            for (std::size_t u = 0; u < kNumCoreUnits; ++u) {
+                // Spread dynamic power by unit area so density is
+                // uniform across the core.
+                const std::size_t idx = plan_.coreBlocks(c)[u];
+                dyn[c][static_cast<std::size_t>(
+                    plan_.blocks()[idx].unit)] = coreW *
+                    plan_.blocks()[idx].rect.area() /
+                    plan_.coreRect(c).area();
+            }
+        }
+        return buildBlockPowerMap(plan_, dyn, leak,
+                                  std::vector<double>(2, l2W));
+    }
+};
+
+TEST_F(FineGridFixture, ZeroPowerIsAmbient)
+{
+    const auto r =
+        fine_.solve(std::vector<double>(fine_.numBlocks(), 0.0));
+    for (double t : r.blockTempC)
+        EXPECT_NEAR(t, fine_.params().ambientC, 1e-6);
+}
+
+TEST_F(FineGridFixture, AgreesWithCoarseModelOnUniformPower)
+{
+    // Same total power, uniform density: core mean temperatures from
+    // the fine model should track the coarse model within ~2 C.
+    const auto fineResult = fine_.solve(uniformMap(5.0, 2.0));
+    const auto coarseResult = coarse_.solve(
+        std::vector<double>(20, 5.0), std::vector<double>(2, 2.0));
+    for (std::size_t c = 0; c < plan_.numCores(); ++c) {
+        EXPECT_NEAR(fineResult.coreMeanC(plan_, c),
+                    coarseResult.coreTempC[c], 2.0)
+            << "core " << c;
+    }
+    EXPECT_NEAR(fineResult.sinkC, coarseResult.sinkC, 0.5);
+}
+
+TEST_F(FineGridFixture, ConcentratedPowerMakesHotspot)
+{
+    // All of core 7's power in its FP unit: that block must run
+    // hotter than the core average — the effect the coarse model
+    // cannot see.
+    std::vector<std::array<double, kNumCoreUnits>> dyn(
+        plan_.numCores());
+    std::vector<double> leak(plan_.numCores(), 0.0);
+    dyn[7][static_cast<std::size_t>(CoreUnit::FpExec)] = 6.0;
+    const auto map = buildBlockPowerMap(plan_, dyn, leak,
+                                        std::vector<double>(2, 0.0));
+    const auto r = fine_.solve(map);
+    const double hotspot = r.coreHotspotC(plan_, 7);
+    const double mean = r.coreMeanC(plan_, 7);
+    EXPECT_GT(hotspot, mean + 3.0);
+    // And the hotspot exceeds what the same 6 W spread uniformly
+    // over the core would produce.
+    std::vector<std::array<double, kNumCoreUnits>> dynU(
+        plan_.numCores());
+    for (std::size_t u = 0; u < kNumCoreUnits; ++u) {
+        const std::size_t idx = plan_.coreBlocks(7)[u];
+        dynU[7][static_cast<std::size_t>(plan_.blocks()[idx].unit)] =
+            6.0 * plan_.blocks()[idx].rect.area() /
+            plan_.coreRect(7).area();
+    }
+    const auto rU = fine_.solve(buildBlockPowerMap(
+        plan_, dynU, leak, std::vector<double>(2, 0.0)));
+    EXPECT_GT(hotspot, rU.coreHotspotC(plan_, 7));
+}
+
+TEST_F(FineGridFixture, PowerMapConservesTotals)
+{
+    std::vector<std::array<double, kNumCoreUnits>> dyn(
+        plan_.numCores());
+    std::vector<double> leak(plan_.numCores(), 1.5);
+    for (auto &d : dyn)
+        d[static_cast<std::size_t>(CoreUnit::IntExec)] = 2.0;
+    const auto map = buildBlockPowerMap(plan_, dyn, leak,
+                                        std::vector<double>(2, 3.0));
+    double total = 0.0;
+    for (double p : map)
+        total += p;
+    // 20 * (2.0 + 1.5) + 2 * 3.0
+    EXPECT_NEAR(total, 20.0 * 3.5 + 6.0, 1e-9);
+}
+
+TEST_F(FineGridFixture, LinearityInPower)
+{
+    const auto map = uniformMap(3.0, 1.0);
+    auto doubled = map;
+    for (auto &p : doubled)
+        p *= 2.0;
+    const auto r1 = fine_.solve(map);
+    const auto r2 = fine_.solve(doubled);
+    const double amb = fine_.params().ambientC;
+    for (std::size_t i = 0; i < r1.blockTempC.size(); ++i) {
+        EXPECT_NEAR(r2.blockTempC[i] - amb,
+                    2.0 * (r1.blockTempC[i] - amb), 1e-5);
+    }
+}
+
+TEST_F(FineGridFixture, BlockCountMatchesFloorplan)
+{
+    EXPECT_EQ(fine_.numBlocks(), plan_.blocks().size());
+    EXPECT_EQ(fine_.numBlocks(), 20u * kNumCoreUnits + 2u);
+}
+
+} // namespace
+} // namespace varsched

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for the CMP floorplan: tiling, coverage, unit decomposition,
+ * and physical-dimension bookkeeping.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "floorplan/floorplan.hh"
+
+namespace varsched
+{
+namespace
+{
+
+TEST(Floorplan, DefaultIsTwentyCores)
+{
+    Floorplan plan;
+    EXPECT_EQ(plan.numCores(), 20u);
+    EXPECT_DOUBLE_EQ(plan.dieAreaMm2(), 340.0);
+    EXPECT_NEAR(plan.dieEdgeMm(), std::sqrt(340.0), 1e-12);
+}
+
+TEST(Floorplan, CoreTilesInsideDie)
+{
+    Floorplan plan;
+    for (std::size_t c = 0; c < plan.numCores(); ++c) {
+        const Rect &r = plan.coreRect(c);
+        EXPECT_GE(r.x, -1e-12);
+        EXPECT_GE(r.y, -1e-12);
+        EXPECT_LE(r.x + r.w, 1.0 + 1e-12);
+        EXPECT_LE(r.y + r.h, 1.0 + 1e-12);
+    }
+}
+
+TEST(Floorplan, CoreTilesDoNotOverlap)
+{
+    Floorplan plan;
+    for (std::size_t a = 0; a < plan.numCores(); ++a) {
+        for (std::size_t b = a + 1; b < plan.numCores(); ++b) {
+            const Rect &ra = plan.coreRect(a);
+            const Rect &rb = plan.coreRect(b);
+            const double ox = std::min(ra.x + ra.w, rb.x + rb.w) -
+                std::max(ra.x, rb.x);
+            const double oy = std::min(ra.y + ra.h, rb.y + rb.h) -
+                std::max(ra.y, rb.y);
+            EXPECT_FALSE(ox > 1e-9 && oy > 1e-9)
+                << "cores " << a << " and " << b << " overlap";
+        }
+    }
+}
+
+TEST(Floorplan, UnitsTileTheirCore)
+{
+    Floorplan plan;
+    for (std::size_t c = 0; c < plan.numCores(); ++c) {
+        double unitArea = 0.0;
+        for (std::size_t u = 0; u < kNumCoreUnits; ++u) {
+            const Rect &r = plan.unitRect(c, static_cast<CoreUnit>(u));
+            unitArea += r.area();
+            // Unit inside its core tile.
+            const Rect &t = plan.coreRect(c);
+            EXPECT_GE(r.x, t.x - 1e-12);
+            EXPECT_GE(r.y, t.y - 1e-12);
+            EXPECT_LE(r.x + r.w, t.x + t.w + 1e-12);
+            EXPECT_LE(r.y + r.h, t.y + t.h + 1e-12);
+        }
+        EXPECT_NEAR(unitArea, plan.coreRect(c).area(), 1e-9);
+    }
+}
+
+TEST(Floorplan, BlockListCoversCoresAndL2)
+{
+    Floorplan plan;
+    EXPECT_EQ(plan.blocks().size(), 20u * kNumCoreUnits + 2u);
+    EXPECT_EQ(plan.l2Blocks().size(), 2u);
+    for (std::size_t c = 0; c < plan.numCores(); ++c)
+        EXPECT_EQ(plan.coreBlocks(c).size(), kNumCoreUnits);
+}
+
+TEST(Floorplan, L2OccupiesTopBand)
+{
+    Floorplan plan;
+    for (std::size_t idx : plan.l2Blocks()) {
+        const Block &b = plan.blocks()[idx];
+        EXPECT_GE(b.rect.y, 0.8 - 1e-12);
+        EXPECT_EQ(b.core, -1);
+    }
+}
+
+TEST(Floorplan, TotalAreaIsFullDie)
+{
+    Floorplan plan;
+    double area = 0.0;
+    for (const auto &b : plan.blocks())
+        area += b.rect.area();
+    EXPECT_NEAR(area, 1.0, 1e-9);
+}
+
+TEST(Floorplan, CoreAreaConversion)
+{
+    Floorplan plan;
+    // 20 cores cover 80% of a 340 mm^2 die -> 13.6 mm^2 each.
+    EXPECT_NEAR(plan.toMm2(plan.coreRect(0).area()), 13.6, 1e-9);
+}
+
+TEST(Floorplan, SmallerCmpStillTiles)
+{
+    Floorplan plan(4, 100.0);
+    EXPECT_EQ(plan.numCores(), 4u);
+    double area = 0.0;
+    for (const auto &b : plan.blocks())
+        area += b.rect.area();
+    EXPECT_NEAR(area, 1.0, 1e-9);
+}
+
+TEST(Floorplan, UnitNamesAreStable)
+{
+    EXPECT_STREQ(coreUnitName(CoreUnit::L1D), "L1D");
+    EXPECT_STREQ(coreUnitName(CoreUnit::Fetch), "Fetch");
+    EXPECT_STREQ(coreUnitName(CoreUnit::FpExec), "FpExec");
+}
+
+} // namespace
+} // namespace varsched

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests for the leakage and dynamic power models: calibration
+ * anchors, monotonicities, variation response, and the activity
+ * calibration used to match Table 5.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "power/dynamic.hh"
+#include "power/leakage.hh"
+#include "solver/rng.hh"
+#include "varius/varmap.hh"
+
+namespace varsched
+{
+namespace
+{
+
+VariationParams
+noVariation()
+{
+    VariationParams p;
+    p.gridSize = 32;
+    p.vthSigmaOverMu = 0.0;
+    return p;
+}
+
+VariationParams
+defaultVariation()
+{
+    VariationParams p;
+    p.gridSize = 32;
+    return p;
+}
+
+class LeakageFixture : public ::testing::Test
+{
+  protected:
+    Floorplan plan_;
+    LeakageModel model_;
+    Rng rng_{7};
+};
+
+TEST_F(LeakageFixture, NominalCoreMatchesAnchor)
+{
+    Rng rng(7);
+    const auto map = generateVariationMap(noVariation(), rng);
+    const double p = model_.corePower(map, plan_, 0, 1.0, 60.0);
+    const LeakageParams &lp = model_.params();
+    EXPECT_NEAR(p, lp.nominalCoreSubthresholdW + lp.nominalCoreGateW,
+                1e-6);
+}
+
+TEST_F(LeakageFixture, LeakageRisesWithTemperature)
+{
+    const auto map = generateVariationMap(noVariation(), rng_);
+    const double p60 = model_.corePower(map, plan_, 0, 1.0, 60.0);
+    const double p95 = model_.corePower(map, plan_, 0, 1.0, 95.0);
+    EXPECT_GT(p95, p60 * 1.15); // exponential growth in T
+    EXPECT_LT(p95, p60 * 6.0);
+}
+
+TEST_F(LeakageFixture, LeakageRisesWithVoltage)
+{
+    const auto map = generateVariationMap(noVariation(), rng_);
+    const double pLo = model_.corePower(map, plan_, 0, 0.6, 60.0);
+    const double pHi = model_.corePower(map, plan_, 0, 1.0, 60.0);
+    EXPECT_GT(pHi, pLo * 1.3);
+}
+
+TEST_F(LeakageFixture, VariationIncreasesTotalLeakage)
+{
+    // Low-Vth transistors leak more than high-Vth ones save
+    // (Section 3), so a with-variation die leaks more in total.
+    Rng rngA(99), rngB(99);
+    const auto flat = generateVariationMap(noVariation(), rngA);
+    const auto varied = generateVariationMap(defaultVariation(), rngB);
+    double flatSum = 0.0, variedSum = 0.0;
+    for (std::size_t c = 0; c < plan_.numCores(); ++c) {
+        flatSum += model_.corePower(flat, plan_, c, 1.0, 60.0);
+        variedSum += model_.corePower(varied, plan_, c, 1.0, 60.0);
+    }
+    EXPECT_GT(variedSum, flatSum * 1.01);
+}
+
+TEST_F(LeakageFixture, CoresLeakDifferently)
+{
+    const auto map = generateVariationMap(defaultVariation(), rng_);
+    double lo = 1e300, hi = 0.0;
+    for (std::size_t c = 0; c < plan_.numCores(); ++c) {
+        const double p = model_.corePower(map, plan_, c, 1.0, 60.0);
+        lo = std::min(lo, p);
+        hi = std::max(hi, p);
+    }
+    EXPECT_GT(hi / lo, 1.2); // substantial core-to-core leakage spread
+}
+
+TEST_F(LeakageFixture, L2BlocksLeak)
+{
+    const auto map = generateVariationMap(defaultVariation(), rng_);
+    for (std::size_t i = 0; i < 2; ++i) {
+        const double p = model_.l2BlockPower(map, plan_, i, 1.0, 60.0);
+        EXPECT_GT(p, 0.2);
+        EXPECT_LT(p, 10.0);
+    }
+}
+
+TEST(DynamicPower, ScalesAsVSquaredTimesF)
+{
+    DynamicPowerModel model;
+    ActivityVector act;
+    act.fill(0.4);
+    const double base = model.corePower(act, 1.0, 4.0e9);
+    EXPECT_NEAR(model.corePower(act, 0.5, 4.0e9), base * 0.25, 1e-9);
+    EXPECT_NEAR(model.corePower(act, 1.0, 2.0e9), base * 0.5, 1e-9);
+    EXPECT_NEAR(model.corePower(act, 0.8, 1.0e9),
+                base * 0.64 * 0.25, 1e-9);
+}
+
+TEST(DynamicPower, ZeroActivityLeavesClockTree)
+{
+    DynamicPowerModel model;
+    ActivityVector act{};
+    act.fill(0.0);
+    EXPECT_NEAR(model.corePower(act, 1.0, 4.0e9),
+                model.params().clockTreeW, 1e-12);
+}
+
+TEST(DynamicPower, UnitPowerUsesUnitBudget)
+{
+    DynamicPowerModel model;
+    const double p =
+        model.unitPower(CoreUnit::FpExec, 1.0, 1.0, 4.0e9);
+    EXPECT_NEAR(
+        p,
+        model.params().unitMaxW[static_cast<std::size_t>(
+            CoreUnit::FpExec)],
+        1e-12);
+}
+
+TEST(DynamicPower, CalibrationHitsTarget)
+{
+    DynamicPowerModel model;
+    ActivityVector shape;
+    shape.fill(1.0);
+    for (double target : {1.5, 2.5, 3.7, 4.4}) {
+        const auto act = model.calibrateActivity(shape, target);
+        EXPECT_NEAR(model.corePower(act, 1.0, 4.0e9), target, 1e-9)
+            << "target " << target;
+    }
+}
+
+TEST(DynamicPower, CalibrationPreservesShape)
+{
+    DynamicPowerModel model;
+    ActivityVector shape{};
+    shape.fill(0.0);
+    shape[static_cast<std::size_t>(CoreUnit::IntExec)] = 1.0;
+    shape[static_cast<std::size_t>(CoreUnit::L1D)] = 0.5;
+    const auto act = model.calibrateActivity(shape, 2.0);
+    const double a = act[static_cast<std::size_t>(CoreUnit::IntExec)];
+    const double b = act[static_cast<std::size_t>(CoreUnit::L1D)];
+    EXPECT_NEAR(b / a, 0.5, 1e-9);
+    EXPECT_DOUBLE_EQ(act[static_cast<std::size_t>(CoreUnit::FpExec)], 0.0);
+}
+
+TEST(DynamicPower, L2PowerFollowsAccessRate)
+{
+    DynamicPowerModel model;
+    EXPECT_DOUBLE_EQ(model.l2Power(0.0), 0.0);
+    EXPECT_NEAR(model.l2Power(1.0e9), 2.0, 1e-9); // 2 nJ * 1 G/s
+}
+
+} // namespace
+} // namespace varsched

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Unit tests for the seeded RNG: determinism, distribution moments,
+ * and stream independence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "solver/rng.hh"
+#include "solver/stats.hh"
+
+namespace varsched
+{
+namespace
+{
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformBoundsRespected)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformMeanIsHalf)
+{
+    Rng rng(11);
+    Summary s;
+    for (int i = 0; i < 100000; ++i)
+        s.add(rng.uniform());
+    EXPECT_NEAR(s.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, BelowStaysBelow)
+{
+    Rng rng(13);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversAllResidues)
+{
+    Rng rng(17);
+    std::vector<int> seen(8, 0);
+    for (int i = 0; i < 4000; ++i)
+        ++seen[rng.below(8)];
+    for (int count : seen)
+        EXPECT_GT(count, 300);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(19);
+    Summary s;
+    for (int i = 0; i < 200000; ++i)
+        s.add(rng.normal());
+    EXPECT_NEAR(s.mean(), 0.0, 0.02);
+    EXPECT_NEAR(s.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, NormalScaled)
+{
+    Rng rng(23);
+    Summary s;
+    for (int i = 0; i < 100000; ++i)
+        s.add(rng.normal(10.0, 2.5));
+    EXPECT_NEAR(s.mean(), 10.0, 0.05);
+    EXPECT_NEAR(s.stddev(), 2.5, 0.05);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent)
+{
+    Rng parent(31);
+    Rng childA = parent.fork(1);
+    Rng childB = parent.fork(2);
+    // Streams differ from each other.
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += childA.next() == childB.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkIsDeterministicGivenParentState)
+{
+    Rng p1(77), p2(77);
+    Rng c1 = p1.fork(5);
+    Rng c2 = p2.fork(5);
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(c1.next(), c2.next());
+}
+
+} // namespace
+} // namespace varsched

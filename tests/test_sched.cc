@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for the variation-aware scheduling algorithms of Table 1.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/sched.hh"
+
+namespace varsched
+{
+namespace
+{
+
+DieParams
+testParams()
+{
+    DieParams p;
+    p.variation.gridSize = 48;
+    return p;
+}
+
+class SchedFixture : public ::testing::Test
+{
+  protected:
+    SchedFixture() : die_(testParams(), 21) {}
+
+    std::vector<const AppProfile *>
+    workload(std::size_t n)
+    {
+        Rng rng(5);
+        return randomWorkload(n, rng);
+    }
+
+    Die die_;
+};
+
+TEST(SortedIndices, OrdersCorrectly)
+{
+    const auto asc = sortedIndices({3.0, 1.0, 2.0});
+    EXPECT_EQ(asc, (std::vector<std::size_t>{1, 2, 0}));
+    const auto desc = sortedIndices({3.0, 1.0, 2.0}, true);
+    EXPECT_EQ(desc, (std::vector<std::size_t>{0, 2, 1}));
+}
+
+TEST_F(SchedFixture, AssignsDistinctCores)
+{
+    Rng rng(1);
+    for (SchedAlgo algo :
+         {SchedAlgo::Random, SchedAlgo::VarP, SchedAlgo::VarPAppP,
+          SchedAlgo::VarF, SchedAlgo::VarFAppIPC}) {
+        const auto apps = workload(8);
+        const auto asg = scheduleThreads(algo, die_, apps, rng);
+        ASSERT_EQ(asg.size(), 8u);
+        std::set<std::size_t> used(asg.begin(), asg.end());
+        EXPECT_EQ(used.size(), 8u) << schedAlgoName(algo);
+        for (std::size_t core : asg)
+            EXPECT_LT(core, die_.numCores());
+    }
+}
+
+TEST_F(SchedFixture, VarPSelectsLowestStaticPowerCores)
+{
+    Rng rng(2);
+    const std::size_t n = 6;
+    const auto asg =
+        scheduleThreads(SchedAlgo::VarP, die_, workload(n), rng);
+
+    // The chosen cores must be exactly the n lowest-static-power ones.
+    std::vector<double> staticPower(die_.numCores());
+    for (std::size_t c = 0; c < die_.numCores(); ++c)
+        staticPower[c] = die_.staticPowerAt(c, die_.maxLevel());
+    auto ranked = sortedIndices(staticPower);
+    std::set<std::size_t> expected(ranked.begin(),
+                                   ranked.begin() + n);
+    for (std::size_t core : asg)
+        EXPECT_TRUE(expected.count(core)) << "core " << core;
+}
+
+TEST_F(SchedFixture, VarFSelectsFastestCores)
+{
+    Rng rng(3);
+    const std::size_t n = 5;
+    const auto asg =
+        scheduleThreads(SchedAlgo::VarF, die_, workload(n), rng);
+    std::vector<double> fmax(die_.numCores());
+    for (std::size_t c = 0; c < die_.numCores(); ++c)
+        fmax[c] = die_.maxFreq(c);
+    auto ranked = sortedIndices(fmax, true);
+    std::set<std::size_t> expected(ranked.begin(),
+                                   ranked.begin() + n);
+    for (std::size_t core : asg)
+        EXPECT_TRUE(expected.count(core));
+}
+
+TEST_F(SchedFixture, VarFAppIpcPairsFastThreadsWithFastCores)
+{
+    Rng rng(4);
+    // Two very different threads: vortex (IPC 1.2) and mcf (IPC 0.1).
+    std::vector<const AppProfile *> apps = {
+        &findApplication("mcf"), &findApplication("vortex")};
+    const auto asg =
+        scheduleThreads(SchedAlgo::VarFAppIPC, die_, apps, rng);
+    EXPECT_GT(die_.maxFreq(asg[1]), die_.maxFreq(asg[0]));
+}
+
+TEST_F(SchedFixture, VarPAppPPairsHotThreadsWithCoolCores)
+{
+    Rng rng(5);
+    // vortex burns 4.4 W dynamic, mcf 1.5 W.
+    std::vector<const AppProfile *> apps = {
+        &findApplication("vortex"), &findApplication("mcf")};
+    const auto asg =
+        scheduleThreads(SchedAlgo::VarPAppP, die_, apps, rng);
+    EXPECT_LT(die_.staticPowerAt(asg[0], die_.maxLevel()),
+              die_.staticPowerAt(asg[1], die_.maxLevel()));
+}
+
+TEST_F(SchedFixture, RandomPlacementVaries)
+{
+    Rng rng(6);
+    const auto apps = workload(4);
+    std::set<std::vector<std::size_t>> placements;
+    for (int i = 0; i < 20; ++i)
+        placements.insert(
+            scheduleThreads(SchedAlgo::Random, die_, apps, rng));
+    EXPECT_GT(placements.size(), 5u);
+}
+
+TEST_F(SchedFixture, FullOccupancyUsesAllCores)
+{
+    Rng rng(7);
+    const auto asg = scheduleThreads(SchedAlgo::VarFAppIPC, die_,
+                                     workload(20), rng);
+    std::set<std::size_t> used(asg.begin(), asg.end());
+    EXPECT_EQ(used.size(), 20u);
+}
+
+TEST(SchedNames, AreStable)
+{
+    EXPECT_STREQ(schedAlgoName(SchedAlgo::VarFAppIPC), "VarF&AppIPC");
+    EXPECT_STREQ(schedAlgoName(SchedAlgo::VarP), "VarP");
+}
+
+} // namespace
+} // namespace varsched

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Unit tests for the statistics helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "solver/stats.hh"
+
+namespace varsched
+{
+namespace
+{
+
+TEST(Summary, EmptyIsZero)
+{
+    Summary s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Summary, SingleValue)
+{
+    Summary s;
+    s.add(3.5);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 3.5);
+    EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(Summary, KnownMoments)
+{
+    Summary s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Histogram, CountsLandInBins)
+{
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 10; ++i)
+        h.add(static_cast<double>(i) + 0.5);
+    for (std::size_t i = 0; i < 10; ++i)
+        EXPECT_EQ(h.binCount(i), 1u);
+    EXPECT_EQ(h.total(), 10u);
+}
+
+TEST(Histogram, OutOfRangeClamps)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(-5.0);
+    h.add(99.0);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(3), 1u);
+    EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(Histogram, BinGeometry)
+{
+    Histogram h(1.0, 2.0, 4);
+    EXPECT_DOUBLE_EQ(h.binLow(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.binLow(2), 1.5);
+    EXPECT_DOUBLE_EQ(h.binCenter(0), 1.125);
+}
+
+TEST(Histogram, TableRendering)
+{
+    Histogram h(0.0, 1.0, 2);
+    h.add(0.25);
+    h.add(0.75);
+    h.add(0.8);
+    const std::string table = h.toTable("ratio");
+    EXPECT_NE(table.find("ratio"), std::string::npos);
+    EXPECT_NE(table.find("1"), std::string::npos);
+    EXPECT_NE(table.find("2"), std::string::npos);
+}
+
+TEST(Percentile, MedianOfOdd)
+{
+    EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 2.0}, 50.0), 2.0);
+}
+
+TEST(Percentile, Interpolates)
+{
+    EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 25.0), 2.5);
+}
+
+TEST(Percentile, Extremes)
+{
+    std::vector<double> v{5.0, 1.0, 9.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100.0), 9.0);
+}
+
+TEST(Percentile, EmptyReturnsZero)
+{
+    EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+}
+
+TEST(MeanGeomean, Basics)
+{
+    EXPECT_DOUBLE_EQ(meanOf({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_NEAR(geomeanOf({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(meanOf({}), 0.0);
+    EXPECT_DOUBLE_EQ(geomeanOf({}), 0.0);
+}
+
+} // namespace
+} // namespace varsched

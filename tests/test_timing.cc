@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for the alpha-power delay model and critical-path frequency
+ * model: monotonicities, calibration, and variation response.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "solver/rng.hh"
+#include "timing/alphapower.hh"
+#include "timing/critpath.hh"
+#include "varius/varmap.hh"
+
+namespace varsched
+{
+namespace
+{
+
+TEST(AlphaPower, VthDropsWithTemperature)
+{
+    DelayParams p;
+    EXPECT_DOUBLE_EQ(vthAtTemp(0.25, 60.0, p), 0.25);
+    EXPECT_LT(vthAtTemp(0.25, 95.0, p), 0.25);
+    EXPECT_GT(vthAtTemp(0.25, 30.0, p), 0.25);
+}
+
+TEST(AlphaPower, DelayFallsWithVoltage)
+{
+    DelayParams p;
+    double prev = gateDelay(1.0, 0.25, 0.6, 60.0, p);
+    for (double v = 0.65; v <= 1.01; v += 0.05) {
+        const double d = gateDelay(1.0, 0.25, v, 60.0, p);
+        EXPECT_LT(d, prev);
+        prev = d;
+    }
+}
+
+TEST(AlphaPower, DelayRisesWithVth)
+{
+    DelayParams p;
+    const double dLow = gateDelay(1.0, 0.20, 1.0, 60.0, p);
+    const double dHigh = gateDelay(1.0, 0.30, 1.0, 60.0, p);
+    EXPECT_GT(dHigh, dLow);
+}
+
+TEST(AlphaPower, DelayRisesWithLeff)
+{
+    DelayParams p;
+    EXPECT_GT(gateDelay(1.1, 0.25, 1.0, 60.0, p),
+              gateDelay(0.9, 0.25, 1.0, 60.0, p));
+}
+
+TEST(AlphaPower, DelayRisesWithTemperature)
+{
+    // Mobility derating dominates the Vth drop at these overdrives.
+    DelayParams p;
+    EXPECT_GT(gateDelay(1.0, 0.25, 1.0, 95.0, p),
+              gateDelay(1.0, 0.25, 1.0, 60.0, p));
+}
+
+TEST(AlphaPower, CollapsedOverdriveIsFiniteButHuge)
+{
+    DelayParams p;
+    const double d = gateDelay(1.0, 0.59, 0.6, 60.0, p);
+    EXPECT_TRUE(std::isfinite(d));
+    EXPECT_GT(d, gateDelay(1.0, 0.25, 0.6, 60.0, p) * 5.0);
+}
+
+class TimingFixture : public ::testing::Test
+{
+  protected:
+    VariationParams varParams_ = [] {
+        VariationParams p;
+        p.gridSize = 32;
+        return p;
+    }();
+    Floorplan plan_;
+    Rng rng_{123};
+};
+
+TEST_F(TimingFixture, ZeroVariationCalibratesToNominal)
+{
+    VariationParams p = varParams_;
+    p.vthSigmaOverMu = 0.0;
+    const auto map = generateVariationMap(p, rng_);
+    const auto timing = buildCoreTiming(map, plan_, 0, rng_);
+    // At (1 V, 95 C) a variation-free core must hit exactly 4 GHz.
+    EXPECT_NEAR(timing.fmax(1.0, 95.0), 4.0e9, 1e6);
+}
+
+TEST_F(TimingFixture, FmaxRisesWithVoltage)
+{
+    const auto map = generateVariationMap(varParams_, rng_);
+    const auto timing = buildCoreTiming(map, plan_, 3, rng_);
+    double prev = 0.0;
+    for (double v = 0.6; v <= 1.001; v += 0.05) {
+        const double f = timing.fmax(v, 95.0);
+        EXPECT_GT(f, prev);
+        prev = f;
+    }
+}
+
+TEST_F(TimingFixture, FmaxFallsWithTemperature)
+{
+    const auto map = generateVariationMap(varParams_, rng_);
+    const auto timing = buildCoreTiming(map, plan_, 5, rng_);
+    EXPECT_GT(timing.fmax(1.0, 60.0), timing.fmax(1.0, 95.0));
+}
+
+TEST_F(TimingFixture, VariationSlowsCoresOnAverage)
+{
+    // SRAM worst-cell effects make with-variation cores slower than
+    // nominal on average (Section 3: "slow processors").
+    const auto map = generateVariationMap(varParams_, rng_);
+    double sum = 0.0;
+    for (std::size_t c = 0; c < plan_.numCores(); ++c) {
+        const auto timing = buildCoreTiming(map, plan_, c, rng_);
+        sum += timing.fmax(1.0, 95.0);
+    }
+    const double mean = sum / static_cast<double>(plan_.numCores());
+    EXPECT_LT(mean, 4.0e9);
+    EXPECT_GT(mean, 2.0e9);
+}
+
+TEST_F(TimingFixture, CoresDifferInFrequency)
+{
+    const auto map = generateVariationMap(varParams_, rng_);
+    double lo = 1e300, hi = 0.0;
+    for (std::size_t c = 0; c < plan_.numCores(); ++c) {
+        const auto timing = buildCoreTiming(map, plan_, c, rng_);
+        const double f = timing.fmax(1.0, 95.0);
+        lo = std::min(lo, f);
+        hi = std::max(hi, f);
+    }
+    // Fig 4(b): most dies show 20-50% core-to-core spread.
+    EXPECT_GT(hi / lo, 1.05);
+    EXPECT_LT(hi / lo, 2.0);
+}
+
+TEST_F(TimingFixture, PathPopulationSized)
+{
+    const auto map = generateVariationMap(varParams_, rng_);
+    CritPathParams cp;
+    const auto timing = buildCoreTiming(map, plan_, 0, rng_, {}, cp);
+    EXPECT_EQ(timing.paths().size(),
+              cp.logicPathsPerCore + cp.sramPathsPerCore);
+}
+
+TEST_F(TimingFixture, MaxDelayIsWorstPath)
+{
+    const auto map = generateVariationMap(varParams_, rng_);
+    const auto timing = buildCoreTiming(map, plan_, 0, rng_);
+    const double worst = timing.maxDelay(0.8, 80.0);
+    EXPECT_GT(worst, 0.0);
+    EXPECT_NEAR(1.0 / worst, timing.fmax(0.8, 80.0), 1e-3 / worst);
+}
+
+} // namespace
+} // namespace varsched

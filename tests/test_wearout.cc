@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the wearout/aging model and tracker (Section 8
+ * extension).
+ */
+
+#include <gtest/gtest.h>
+
+#include "reliability/wearout.hh"
+
+namespace varsched
+{
+namespace
+{
+
+TEST(Wearout, ReferenceCornerIsUnity)
+{
+    WearoutModel model;
+    EXPECT_NEAR(model.agingRate(60.0, 1.0), 1.0, 1e-12);
+}
+
+TEST(Wearout, HotterAgesFaster)
+{
+    WearoutModel model;
+    const double base = model.agingRate(60.0, 1.0);
+    EXPECT_GT(model.agingRate(95.0, 1.0), base * 2.0);
+    EXPECT_LT(model.agingRate(45.0, 1.0), base);
+}
+
+TEST(Wearout, HigherVoltageAgesMuchFaster)
+{
+    WearoutModel model;
+    // gamma = 12: +10% voltage costs ~3x lifetime.
+    const double r = model.agingRate(60.0, 1.1) /
+        model.agingRate(60.0, 1.0);
+    EXPECT_GT(r, 2.5);
+    EXPECT_LT(r, 4.0);
+    EXPECT_LT(model.agingRate(60.0, 0.8), 0.2);
+}
+
+TEST(Wearout, GatedCoreBarelyAges)
+{
+    WearoutModel model;
+    EXPECT_LT(model.agingRate(60.0, 0.0), 0.1);
+    // ... but still responds to ambient heat from neighbours.
+    EXPECT_GT(model.agingRate(95.0, 0.0),
+              model.agingRate(60.0, 0.0));
+}
+
+TEST(Wearout, TrackerAveragesRates)
+{
+    WearoutModel model;
+    WearoutTracker tracker(model, 2);
+    // Core 0 at the reference corner, core 1 gated.
+    tracker.accumulate({60.0, 60.0}, {1.0, 0.0}, 10.0);
+    tracker.accumulate({60.0, 60.0}, {1.0, 0.0}, 10.0);
+    const auto rates = tracker.averageRates();
+    EXPECT_NEAR(rates[0], 1.0, 1e-12);
+    EXPECT_LT(rates[1], 0.1);
+    EXPECT_NEAR(tracker.worstRate(), 1.0, 1e-12);
+}
+
+TEST(Wearout, MigrationEvensWear)
+{
+    // Alternating a hot spot between two cores halves each one's
+    // average rate relative to pinning it on one core.
+    WearoutModel model;
+    WearoutTracker pinned(model, 2), migrated(model, 2);
+    for (int i = 0; i < 100; ++i) {
+        pinned.accumulate({95.0, 50.0}, {1.0, 0.7}, 1.0);
+        const bool even = i % 2 == 0;
+        migrated.accumulate({even ? 95.0 : 50.0, even ? 50.0 : 95.0},
+                            {even ? 1.0 : 0.7, even ? 0.7 : 1.0}, 1.0);
+    }
+    EXPECT_LT(migrated.worstRate(), pinned.worstRate() * 0.7);
+}
+
+TEST(Wearout, LifetimeInverseOfWorstRate)
+{
+    WearoutModel model;
+    WearoutTracker tracker(model, 1);
+    tracker.accumulate({60.0}, {1.0}, 5.0);
+    EXPECT_NEAR(tracker.projectedLifetimeYears(),
+                model.params().nominalLifetimeYears, 1e-9);
+    // Double the rate -> half the lifetime.
+    WearoutTracker hot(model, 1);
+    const double t2 = 60.0; // find T where rate ~2 by construction:
+    (void)t2;
+    hot.accumulate({60.0}, {1.0}, 5.0);
+    hot.accumulate({60.0}, {1.0}, 5.0);
+    EXPECT_NEAR(hot.projectedLifetimeYears(),
+                model.params().nominalLifetimeYears, 1e-9);
+}
+
+TEST(Wearout, EmptyTrackerIsNominal)
+{
+    WearoutModel model;
+    WearoutTracker tracker(model, 3);
+    EXPECT_DOUBLE_EQ(tracker.worstRate(), 0.0);
+    EXPECT_DOUBLE_EQ(tracker.projectedLifetimeYears(),
+                     model.params().nominalLifetimeYears);
+}
+
+} // namespace
+} // namespace varsched

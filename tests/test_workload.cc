@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests for the application profiles (Table 5 anchors and the CPI
+ * decomposition) and the Markov phase sequencer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cmpsim/workload.hh"
+
+namespace varsched
+{
+namespace
+{
+
+TEST(Workload, FourteenApplications)
+{
+    EXPECT_EQ(specApplications().size(), 14u);
+}
+
+TEST(Workload, Table5AnchorsPreserved)
+{
+    // Spot checks against the paper's Table 5.
+    EXPECT_DOUBLE_EQ(findApplication("mcf").dynPowerW, 1.5);
+    EXPECT_DOUBLE_EQ(findApplication("mcf").ipcAt4GHz, 0.1);
+    EXPECT_DOUBLE_EQ(findApplication("vortex").dynPowerW, 4.4);
+    EXPECT_DOUBLE_EQ(findApplication("vortex").ipcAt4GHz, 1.2);
+    EXPECT_DOUBLE_EQ(findApplication("applu").dynPowerW, 4.3);
+    EXPECT_DOUBLE_EQ(findApplication("swim").ipcAt4GHz, 0.3);
+}
+
+TEST(Workload, CpiDecompositionConsistent)
+{
+    // cpiExe + memMpi*400 must reconstruct 1/ipc at 4 GHz for every
+    // application.
+    for (const auto &app : specApplications()) {
+        EXPECT_NEAR(app.cpiAt(4.0e9), 1.0 / app.ipcAt4GHz, 1e-9)
+            << app.name;
+        EXPECT_NEAR(app.ipcAt(4.0e9), app.ipcAt4GHz, 1e-9) << app.name;
+        EXPECT_GT(app.memMpi, 0.0) << app.name;
+        EXPECT_GE(app.l2Mpi, app.memMpi) << app.name;
+    }
+}
+
+TEST(Workload, IpcRisesAsFrequencyDrops)
+{
+    // Memory time is fixed in ns, so per-cycle efficiency improves at
+    // lower frequency — strongly for memory-bound apps.
+    const auto &mcf = findApplication("mcf");
+    EXPECT_GT(mcf.ipcAt(2.0e9), mcf.ipcAt4GHz * 1.5);
+    const auto &vortex = findApplication("vortex");
+    EXPECT_GT(vortex.ipcAt(2.0e9), vortex.ipcAt4GHz);
+    EXPECT_LT(vortex.ipcAt(2.0e9), vortex.ipcAt4GHz * 1.2);
+}
+
+TEST(Workload, ThroughputStillRisesWithFrequency)
+{
+    // IPS = ipc * f must remain increasing in f for every app.
+    for (const auto &app : specApplications()) {
+        double prev = 0.0;
+        for (double f = 1.0e9; f <= 4.01e9; f += 0.5e9) {
+            const double ips = app.ipcAt(f) * f;
+            EXPECT_GT(ips, prev) << app.name;
+            prev = ips;
+        }
+    }
+}
+
+TEST(Workload, FindApplicationReturnsNamed)
+{
+    EXPECT_EQ(findApplication("gzip").name, "gzip");
+}
+
+TEST(Workload, RandomWorkloadSizesAndMembership)
+{
+    Rng rng(3);
+    const auto w = randomWorkload(20, rng);
+    EXPECT_EQ(w.size(), 20u);
+    for (const auto *app : w) {
+        ASSERT_NE(app, nullptr);
+        EXPECT_NO_FATAL_FAILURE(findApplication(app->name));
+    }
+}
+
+TEST(Workload, RandomWorkloadVariesAcrossDraws)
+{
+    Rng rng(5);
+    std::set<std::string> names;
+    for (int i = 0; i < 10; ++i)
+        for (const auto *app : randomWorkload(4, rng))
+            names.insert(app->name);
+    EXPECT_GT(names.size(), 5u);
+}
+
+TEST(Phases, EveryAppHasPhases)
+{
+    for (const auto &app : specApplications()) {
+        EXPECT_GE(app.phases.size(), 3u) << app.name;
+        for (const auto &ph : app.phases) {
+            EXPECT_GT(ph.cpiScale, 0.0);
+            EXPECT_GT(ph.meanDwellMs, 0.0);
+        }
+    }
+}
+
+TEST(Phases, SequencerTransitions)
+{
+    const auto &app = findApplication("mcf");
+    PhaseSequencer seq(app, Rng(7));
+    std::set<const Phase *> seen;
+    for (int i = 0; i < 10000; ++i) {
+        seq.advance(10.0);
+        seen.insert(&seq.current());
+    }
+    EXPECT_EQ(seen.size(), app.phases.size());
+}
+
+TEST(Phases, SteadyAppChangesLessOften)
+{
+    // crafty (phasiness 0.2, dwell 300 ms) should transition less
+    // often than mcf (0.9, 100 ms).
+    auto countTransitions = [](const AppProfile &app) {
+        PhaseSequencer seq(app, Rng(11));
+        const Phase *prev = &seq.current();
+        int transitions = 0;
+        for (int i = 0; i < 5000; ++i) {
+            seq.advance(1.0);
+            if (&seq.current() != prev) {
+                ++transitions;
+                prev = &seq.current();
+            }
+        }
+        return transitions;
+    };
+    EXPECT_LT(countTransitions(findApplication("crafty")),
+              countTransitions(findApplication("mcf")));
+}
+
+TEST(Phases, DeterministicGivenSeed)
+{
+    const auto &app = findApplication("art");
+    PhaseSequencer a(app, Rng(13)), b(app, Rng(13));
+    for (int i = 0; i < 1000; ++i) {
+        a.advance(5.0);
+        b.advance(5.0);
+        EXPECT_EQ(&a.current(), &b.current());
+    }
+}
+
+} // namespace
+} // namespace varsched
