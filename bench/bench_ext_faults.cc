@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Extension (robustness): fault injection vs the power managers.
+ *
+ * The paper's managers assume perfect sensors and actuators. This
+ * bench replays one hostile scenario — a power sensor stuck at 1 W
+ * for 50-200 ms plus a swept DVFS actuation-failure rate — against
+ * Foxton*, LinOpt, and SAnn, each wrapped in the GuardedPowerManager
+ * (sensor validation + LinOpt -> Foxton* -> safe-mode fallback
+ * chain), with unguarded LinOpt as the contrast row. Reported per
+ * cell: throughput, settled power, the fraction of time the chip
+ * busts Ptarget by > 5%, and the guard telemetry.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.hh"
+
+using namespace varsched;
+
+namespace
+{
+
+struct CellResult
+{
+    double mips = 0.0;
+    double powerW = 0.0;
+    double capViol = 0.0;
+    double fallbacks = 0.0;
+    double recoveries = 0.0;
+    double quarantines = 0.0;
+    double dvfsFaults = 0.0;
+};
+
+CellResult
+runCell(const BatchConfig &batch, PmKind pm, bool guarded,
+        double failRate)
+{
+    CellResult cell;
+    std::size_t runs = 0;
+    for (std::size_t d = 0; d < batch.numDies; ++d) {
+        const Die die(batch.dieParams, batch.seed + d);
+        for (std::size_t t = 0; t < batch.numTrials; ++t) {
+            Rng wrng(batch.seed * 977 + d * 31 + t);
+            const auto apps = randomWorkload(20, wrng);
+
+            SystemConfig config;
+            config.sched = SchedAlgo::VarFAppIPC;
+            config.pm = pm;
+            config.guardedPm = guarded;
+            config.ptargetW = 75.0;
+            config.durationMs = 300.0;
+            config.sannEvals = 5000;
+            config.seed = batch.seed + d * 131 + t * 7;
+            config.faults.sensorFaults.push_back(
+                {SensorFaultKind::StuckAt, 0, 50.0, 200.0, 1.0, 1.0});
+            config.faults.dvfs.failRate = failRate;
+
+            SystemSimulator sim(die, apps, config);
+            const auto r = sim.run();
+            cell.mips += r.avgMips;
+            cell.powerW += r.avgPowerW;
+            cell.capViol += r.capViolationFraction;
+            cell.fallbacks += static_cast<double>(r.fallbackEngagements);
+            cell.recoveries += static_cast<double>(r.guardRecoveries);
+            cell.quarantines += static_cast<double>(r.sensorQuarantines);
+            cell.dvfsFaults += static_cast<double>(r.dvfsFaultsInjected);
+            ++runs;
+        }
+    }
+    const double n = static_cast<double>(runs);
+    cell.mips /= n;
+    cell.powerW /= n;
+    cell.capViol /= n;
+    cell.fallbacks /= n;
+    cell.recoveries /= n;
+    cell.quarantines /= n;
+    cell.dvfsFaults /= n;
+    return cell;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Extension: fault injection and graceful degradation",
+                  "beyond the paper — stuck sensors and flaky DVFS "
+                  "actuators vs the Table 1 managers");
+
+    BatchConfig batch = defaultBatch(2, 2);
+    bench::describeBatch(batch);
+
+    std::printf("Scenario: power sensor of core 0 stuck at 1 W for "
+                "50-200 ms; DVFS transition\nfailure rate swept; "
+                "Ptarget 75 W, 20 threads, 300 ms.\n\n");
+
+    const double failRates[] = {0.0, 0.01, 0.05, 0.20};
+    struct Row
+    {
+        const char *label;
+        PmKind pm;
+        bool guarded;
+    };
+    const Row rows[] = {
+        {"LinOpt (unguarded)", PmKind::LinOpt, false},
+        {"Guarded(Foxton*)", PmKind::FoxtonStar, true},
+        {"Guarded(LinOpt)", PmKind::LinOpt, true},
+        {"Guarded(SAnn)", PmKind::SAnn, true},
+    };
+
+    for (double rate : failRates) {
+        std::printf("--- DVFS actuation failure rate %.0f%% ---\n",
+                    rate * 100.0);
+        std::printf("%-20s %9s %8s %9s %6s %6s %6s %7s\n", "manager",
+                    "MIPS", "power W", "viol %", "fall", "recov",
+                    "quar", "dvfsF");
+        for (const Row &row : rows) {
+            const CellResult c =
+                runCell(batch, row.pm, row.guarded, rate);
+            std::printf("%-20s %9.0f %8.1f %9.2f %6.1f %6.1f %6.1f "
+                        "%7.1f\n",
+                        row.label, c.mips, c.powerW, c.capViol * 100.0,
+                        c.fallbacks, c.recoveries, c.quarantines,
+                        c.dvfsFaults);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("(reading: unguarded LinOpt trusts the stuck sensor "
+                "and busts the budget for the\nwhole fault window; "
+                "the guarded managers quarantine the sensor, ride "
+                "out the\nwindow on the Foxton* tier, and recover — "
+                "violation time stays near zero even\nas actuation "
+                "faults climb)\n");
+    return 0;
+}

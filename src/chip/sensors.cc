@@ -274,7 +274,7 @@ ChipSnapshot
 buildSnapshot(const ChipEvaluator &evaluator,
               const std::vector<CoreWork> &work,
               const ChipCondition &current, double ptargetW,
-              double pcoreMaxW, Rng *noise)
+              double pcoreMaxW, Rng *noise, SensorTamper *tamper)
 {
     const Die &die = evaluator.die();
     ChipSnapshot snap;
@@ -304,9 +304,11 @@ buildSnapshot(const ChipEvaluator &evaluator,
                 jitter(ChipEvaluator::ipcOf(*work[c].app, work[c], f)));
             // Sensor power: dynamic + leakage at the *current*
             // (frozen) temperature of this core.
-            const double p = evaluator.dynamicPower(work[c], v, f) +
-                die.leakagePower(c, v, current.coreTempC[c]);
-            cs.powerW.push_back(jitter(p));
+            double p = jitter(evaluator.dynamicPower(work[c], v, f) +
+                die.leakagePower(c, v, current.coreTempC[c]));
+            if (tamper)
+                p = tamper->tamperPower(c, l, p);
+            cs.powerW.push_back(p);
         }
         snap.cores.push_back(std::move(cs));
     }

@@ -144,6 +144,28 @@ struct ChipSnapshot
 };
 
 /**
+ * Hook through which a fault model intercepts synthesised power
+ * readings before they reach the snapshot. Gaussian sensor noise
+ * models a *working* sensor; a SensorTamper models a *broken* one
+ * (stuck-at, dropout, spike, drift — see fault/fault.hh, which
+ * implements this interface).
+ */
+class SensorTamper
+{
+  public:
+    virtual ~SensorTamper() = default;
+
+    /**
+     * @param coreId Core whose power sensor is being read.
+     * @param level Voltage level of the reading.
+     * @param trueW The value a healthy sensor would report.
+     * @return The value the (possibly faulty) sensor reports.
+     */
+    virtual double tamperPower(std::size_t coreId, std::size_t level,
+                               double trueW) = 0;
+};
+
+/**
  * Assemble the sensor view of the chip.
  *
  * @param evaluator Physics (used to synthesise the sensor readings).
@@ -153,11 +175,14 @@ struct ChipSnapshot
  * @param ptargetW / @param pcoreMaxW Budgets copied into the snapshot.
  * @param noise Optional RNG; when non-null, IPC and power readings
  *        get ~1% multiplicative sensor noise.
+ * @param tamper Optional fault model applied to each power reading
+ *        (after noise — a broken sensor replaces the noisy value).
  */
 ChipSnapshot buildSnapshot(const ChipEvaluator &evaluator,
                            const std::vector<CoreWork> &work,
                            const ChipCondition &current, double ptargetW,
-                           double pcoreMaxW, Rng *noise = nullptr);
+                           double pcoreMaxW, Rng *noise = nullptr,
+                           SensorTamper *tamper = nullptr);
 
 } // namespace varsched
 

@@ -1,0 +1,186 @@
+#include "core/guarded.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace varsched
+{
+
+GuardedPowerManager::GuardedPowerManager(
+    std::unique_ptr<PowerManager> primary, const GuardConfig &config)
+    : config_(config), primary_(std::move(primary)),
+      validator_(config.validator)
+{
+}
+
+std::string
+GuardedPowerManager::name() const
+{
+    return "Guarded(" + primary_->name() + ")";
+}
+
+std::vector<int>
+GuardedPowerManager::selectLevels(const ChipSnapshot &snap)
+{
+    const std::size_t n = snap.cores.size();
+    if (n == 0) {
+        lastDecision_.clear();
+        lastPredictedW_ = -1.0;
+        awaitingDecision_ = false;
+        return {};
+    }
+
+    // Cross-check the raw readings against the previous tick's
+    // settled per-core power at the level the guard last commanded.
+    // The snapshot is synthesised at exactly that settled operating
+    // point, so a healthy sensor agrees to within noise and phase
+    // drift; a plausible-but-wrong one (stuck at yesterday's curve)
+    // is caught here even though its shape passes every check.
+    if (haveSettled_) {
+        for (const CoreSnapshot &core : snap.cores) {
+            int commanded = -1;
+            for (const auto &[id, level] : lastDecision_) {
+                if (id == core.coreId) {
+                    commanded = level;
+                    break;
+                }
+            }
+            if (commanded < 0 ||
+                core.coreId >= lastSettled_.corePowerW.size())
+                continue;
+            const double actual =
+                lastSettled_.corePowerW[core.coreId];
+            const auto level = static_cast<std::size_t>(commanded);
+            if (actual <= 0.0 || level >= core.powerW.size())
+                continue;
+            if (std::abs(core.powerW[level] - actual) >
+                config_.mistrustFraction * std::max(actual, 1.0))
+                validator_.reportMismatch(core.coreId);
+        }
+    }
+
+    ChipSnapshot validated = snap;
+    validator_.sanitise(validated);
+
+    if (config_.degradeOnQuarantine && tier_ == GuardTier::Primary &&
+        !validator_.allTrusted()) {
+        tier_ = GuardTier::Fallback;
+        ++stats_.fallbackEngagements;
+        violationStreak_ = 0;
+        cleanStreak_ = 0;
+    }
+
+    // Close the prediction loop: hand the managers a budget shaved by
+    // however far above its own prediction the chip has been
+    // settling (sensor models freeze leakage at the pre-decision
+    // temperature, so they systematically miss the warm-up).
+    if (snap.ptargetW > 0.0) {
+        validated.ptargetW =
+            std::max(snap.ptargetW * config_.minTargetFraction,
+                     snap.ptargetW - biasW_);
+    }
+
+    std::vector<int> levels;
+    switch (tier_) {
+      case GuardTier::Primary:
+        levels = primary_->selectLevels(validated);
+        break;
+      case GuardTier::Fallback:
+        levels = fallback_.selectLevels(validated);
+        break;
+      case GuardTier::SafeMode:
+        levels.assign(n, 0);
+        break;
+    }
+
+    // Sanity-check the decision against the validated power model:
+    // if even the manager's own inputs predict a busted budget (an
+    // infeasible LP, a bugged manager), override with the Foxton*
+    // reduction and keep the elementwise minimum of the two.
+    if (tier_ != GuardTier::SafeMode &&
+        validated.ptargetW > 0.0 &&
+        validated.powerAt(levels) >
+            validated.ptargetW * (1.0 + config_.violationTolerance)) {
+        const std::vector<int> reduced =
+            fallback_.selectLevels(validated);
+        for (std::size_t i = 0; i < n; ++i)
+            levels[i] = std::min(levels[i], reduced[i]);
+        ++stats_.decisionOverrides;
+    }
+
+    lastDecision_.clear();
+    for (std::size_t i = 0; i < n; ++i)
+        lastDecision_.emplace_back(snap.cores[i].coreId, levels[i]);
+    lastPredictedW_ = validated.powerAt(levels);
+    settleScored_ = false;
+    awaitingDecision_ = false;
+    return levels;
+}
+
+void
+GuardedPowerManager::observeSettled(const ChipCondition &cond,
+                                    double ptargetW, double pcoreMaxW)
+{
+    lastSettled_ = cond;
+    haveSettled_ = true;
+
+    // Score the last decision's power prediction against the first
+    // settle after it; the (clamped-positive) bias shaves future
+    // effective budgets. Undershoot decays the bias instead of
+    // raising the budget above Ptarget.
+    if (lastPredictedW_ > 0.0 && !settleScored_) {
+        const double delta = cond.totalPowerW - lastPredictedW_;
+        biasW_ = std::max(0.0, (1.0 - config_.biasGain) * biasW_ +
+                                   config_.biasGain * delta);
+        settleScored_ = true;
+    }
+
+    bool violated =
+        ptargetW > 0.0 &&
+        cond.totalPowerW >
+            ptargetW * (1.0 + config_.violationTolerance);
+    if (pcoreMaxW > 0.0) {
+        for (double p : cond.corePowerW) {
+            if (p > pcoreMaxW * (1.0 + config_.coreViolationTolerance))
+                violated = true;
+        }
+    }
+
+    if (violated) {
+        ++stats_.violations;
+        cleanStreak_ = 0;
+        // A freshly changed tier needs one applied decision before
+        // the chip can react; don't punish it for stale violations.
+        if (!awaitingDecision_) {
+            ++violationStreak_;
+            if (violationStreak_ >= config_.degradeAfter &&
+                tier_ != GuardTier::SafeMode) {
+                tier_ = static_cast<GuardTier>(
+                    static_cast<int>(tier_) + 1);
+                ++stats_.fallbackEngagements;
+                violationStreak_ = 0;
+                awaitingDecision_ = true;
+            }
+        }
+    } else {
+        violationStreak_ = 0;
+        ++cleanStreak_;
+        if (cleanStreak_ >= config_.recoverAfter &&
+            tier_ != GuardTier::Primary) {
+            // The final step back to the primary additionally
+            // requires every sensor to be trusted again.
+            const bool sensorsOk = tier_ != GuardTier::Fallback ||
+                validator_.allTrusted();
+            if (sensorsOk) {
+                tier_ = static_cast<GuardTier>(
+                    static_cast<int>(tier_) - 1);
+                cleanStreak_ = 0;
+                awaitingDecision_ = true;
+                if (tier_ == GuardTier::Primary)
+                    ++stats_.recoveries;
+            }
+        }
+    }
+}
+
+} // namespace varsched

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * GuardedPowerManager: degradation-aware decorator around any
+ * PowerManager.
+ *
+ * The wrapped ("primary") manager — LinOpt, SAnn, Foxton*, the
+ * max-min LP — trusts its sensor snapshot and its actuators. The
+ * guard does not. It
+ *
+ *  1. passes every snapshot through a SensorValidator, so the primary
+ *     only ever sees plausible (possibly substituted) power curves;
+ *  2. cross-checks each new raw snapshot against the *physically
+ *     settled* per-core power of the previous tick (the trustworthy
+ *     regulator-side measurement) at the level the guard last
+ *     commanded — the two describe the same operating point at the
+ *     same temperature, so a healthy sensor agrees to within noise
+ *     while a plausible-but-wrong one is caught and quarantined;
+ *  3. learns the bias between what a decision predicted and what
+ *     physically settled, and shaves the budget it hands the
+ *     managers by that bias, closing the loop that open-loop sensor
+ *     models (leakage frozen at the pre-decision temperature) leave
+ *     open;
+ *  4. sanity-checks each decision against the validated power model
+ *     and overrides it with a Foxton*-style reduction when the
+ *     predicted power busts the budget (e.g. an infeasible LP); and
+ *  5. on repeated settled-power violations — or while any sensor is
+ *     quarantined — degrades along a fallback chain: primary ->
+ *     Foxton* on validated sensors -> uniform lowest-level safe
+ *     mode — and climbs back up with hysteresis once the chip has
+ *     been clean for a while and (for the final step back to the
+ *     primary) every sensor is trusted again.
+ */
+
+#ifndef VARSCHED_CORE_GUARDED_HH
+#define VARSCHED_CORE_GUARDED_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/pmalgo.hh"
+#include "fault/validate.hh"
+
+namespace varsched
+{
+
+/** Tuning of the guard's degrade/recover state machine. */
+struct GuardConfig
+{
+    /** Settled power above (1 + this) * Ptarget counts as violated. */
+    double violationTolerance = 0.05;
+    /** Per-core settled power above (1 + this) * Pcoremax, too. */
+    double coreViolationTolerance = 0.25;
+    /** Consecutive violated ticks before degrading one tier. */
+    int degradeAfter = 3;
+    /** Consecutive clean ticks before recovering one tier. */
+    int recoverAfter = 30;
+    /** Settled-vs-sensed disagreement that flags a sensor. */
+    double mistrustFraction = 0.30;
+    /**
+     * Drop from the primary to the Foxton* tier while any sensor is
+     * quarantined: the optimiser fits models to substituted data, the
+     * reduction baseline only needs the budget, so distrust alone is
+     * reason enough to prefer it.
+     */
+    bool degradeOnQuarantine = true;
+    /**
+     * Smoothing gain of the settle-bias estimate (0..1; higher reacts
+     * faster). The bias — how far above its own prediction the chip
+     * physically settles — is subtracted from the budget handed to
+     * the managers.
+     */
+    double biasGain = 0.5;
+    /** Never shave the effective budget below this fraction of it. */
+    double minTargetFraction = 0.5;
+    /** Sensor-validation thresholds. */
+    ValidatorConfig validator;
+};
+
+/** Fallback position: 0 = primary, 1 = Foxton*, 2 = safe mode. */
+enum class GuardTier
+{
+    Primary = 0,
+    Fallback = 1,
+    SafeMode = 2,
+};
+
+/** Guard telemetry. */
+struct GuardStats
+{
+    /** Tier-degrade events (fallback-chain engagements). */
+    std::size_t fallbackEngagements = 0;
+    /** Times the guard made it back to the primary manager. */
+    std::size_t recoveries = 0;
+    /** Primary decisions overridden for predicted infeasibility. */
+    std::size_t decisionOverrides = 0;
+    /** Settled-power violations observed. */
+    std::size_t violations = 0;
+};
+
+/** Decorator enforcing the power budget under faulty inputs. */
+class GuardedPowerManager : public PowerManager
+{
+  public:
+    explicit GuardedPowerManager(std::unique_ptr<PowerManager> primary,
+                                 const GuardConfig &config = {});
+
+    std::string name() const override;
+    std::vector<int> selectLevels(const ChipSnapshot &snap) override;
+
+    /**
+     * Feedback path: report the physically settled chip state (the
+     * regulator-side measurement, assumed trustworthy) once per tick.
+     *
+     * @param cond Settled condition of this tick.
+     * @param ptargetW Chip budget in force.
+     * @param pcoreMaxW Per-core cap in force.
+     */
+    void observeSettled(const ChipCondition &cond, double ptargetW,
+                        double pcoreMaxW);
+
+    GuardTier tier() const { return tier_; }
+    const GuardStats &stats() const { return stats_; }
+    const SensorValidator &validator() const { return validator_; }
+    /** Quarantine entries, for SystemResult telemetry. */
+    std::size_t sensorQuarantines() const
+    { return validator_.quarantineEvents(); }
+    /** Learned settled-minus-predicted power bias, W (>= 0). */
+    double settleBiasW() const { return biasW_; }
+
+  private:
+    GuardConfig config_;
+    std::unique_ptr<PowerManager> primary_;
+    FoxtonStarManager fallback_;
+    SensorValidator validator_;
+    GuardStats stats_;
+
+    GuardTier tier_ = GuardTier::Primary;
+    int violationStreak_ = 0;
+    int cleanStreak_ = 0;
+    /** A tier change not yet reflected in an applied decision. */
+    bool awaitingDecision_ = false;
+
+    /** (coreId, level) pairs of the last decision, for the settled
+     *  cross-check at the next snapshot. */
+    std::vector<std::pair<std::size_t, int>> lastDecision_;
+    /** Most recent settled condition reported back. */
+    ChipCondition lastSettled_;
+    bool haveSettled_ = false;
+    /** Chip power the last decision predicted; < 0 when none. */
+    double lastPredictedW_ = -1.0;
+    /** The prediction above has been scored against a settle. */
+    bool settleScored_ = true;
+    /** Settled-minus-predicted bias estimate, W. */
+    double biasW_ = 0.0;
+};
+
+} // namespace varsched
+
+#endif // VARSCHED_CORE_GUARDED_HH

@@ -1,8 +1,9 @@
 #include "core/linopt.hh"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "solver/matrix.hh"
 
@@ -11,8 +12,14 @@ namespace varsched
 
 LinOptManager::LinOptManager(const LinOptConfig &config) : config_(config)
 {
-    assert(config_.powerSamplePoints == 2 ||
-           config_.powerSamplePoints == 3);
+    // Validated in release builds too: an out-of-range sample count
+    // would silently index past sampleLevels in selectLevels.
+    if (config_.powerSamplePoints != 2 &&
+        config_.powerSamplePoints != 3) {
+        throw std::invalid_argument(
+            "LinOptConfig::powerSamplePoints must be 2 or 3 (got " +
+            std::to_string(config_.powerSamplePoints) + ")");
+    }
 }
 
 std::vector<int>

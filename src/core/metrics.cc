@@ -56,4 +56,20 @@ averageActiveFrequency(const ChipCondition &cond,
     return active ? sum / static_cast<double>(active) : 0.0;
 }
 
+double
+capViolationFraction(const std::vector<double> &powerTrace,
+                     double ptargetW, double tolFraction)
+{
+    if (powerTrace.empty() || !(ptargetW > 0.0))
+        return 0.0;
+    std::size_t violated = 0;
+    const double limit = ptargetW * (1.0 + tolFraction);
+    for (double p : powerTrace) {
+        if (p > limit)
+            ++violated;
+    }
+    return static_cast<double>(violated) /
+        static_cast<double>(powerTrace.size());
+}
+
 } // namespace varsched

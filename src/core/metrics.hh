@@ -52,6 +52,19 @@ double weightedProgress(const ChipCondition &cond,
 double averageActiveFrequency(const ChipCondition &cond,
                               const std::vector<CoreWork> &work);
 
+/**
+ * Robustness metric: fraction of power samples that exceeded the
+ * budget by more than @p tolFraction — time the chip spent in cap
+ * violation despite the power manager.
+ *
+ * @param powerTrace Per-tick settled chip power, W.
+ * @param ptargetW Chip-wide budget.
+ * @param tolFraction Overshoot tolerance (default 5%).
+ */
+double capViolationFraction(const std::vector<double> &powerTrace,
+                            double ptargetW,
+                            double tolFraction = 0.05);
+
 } // namespace varsched
 
 #endif // VARSCHED_CORE_METRICS_HH

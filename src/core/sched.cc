@@ -57,11 +57,48 @@ profiled(double value, Rng &rng)
     return value * (1.0 + 0.02 * rng.normal());
 }
 
+/**
+ * Drop unavailable (failed) cores from a ranked pool, keeping the
+ * ranking order of the survivors.
+ */
+std::vector<std::size_t>
+filterAvailable(std::vector<std::size_t> pool,
+                const std::vector<bool> *available)
+{
+    if (available == nullptr)
+        return pool;
+    std::vector<std::size_t> healthy;
+    healthy.reserve(pool.size());
+    for (std::size_t core : pool) {
+        if (core < available->size() && !(*available)[core])
+            continue;
+        healthy.push_back(core);
+    }
+    return healthy;
+}
+
+/**
+ * Map ranked threads onto a ranked core pool; threads beyond the
+ * pool (more threads than healthy cores) park at kNoCore.
+ */
+std::vector<std::size_t>
+placeThreads(const std::vector<std::size_t> &threadOrder,
+             const std::vector<std::size_t> &corePool)
+{
+    std::vector<std::size_t> assignment(threadOrder.size(), kNoCore);
+    const std::size_t slots =
+        std::min(threadOrder.size(), corePool.size());
+    for (std::size_t slot = 0; slot < slots; ++slot)
+        assignment[threadOrder[slot]] = corePool[slot];
+    return assignment;
+}
+
 } // namespace
 
 std::vector<std::size_t>
 scheduleThreads(SchedAlgo algo, const Die &die,
-                const std::vector<const AppProfile *> &threads, Rng &rng)
+                const std::vector<const AppProfile *> &threads, Rng &rng,
+                const std::vector<bool> *available)
 {
     const std::size_t numThreads = threads.size();
     const std::size_t numCores = die.numCores();
@@ -95,7 +132,9 @@ scheduleThreads(SchedAlgo algo, const Die &die,
         break;
       }
     }
-    corePool.resize(numThreads);
+    corePool = filterAvailable(std::move(corePool), available);
+    if (corePool.size() > numThreads)
+        corePool.resize(numThreads);
 
     // Order threads onto the selected cores.
     std::vector<std::size_t> threadOrder(numThreads);
@@ -126,38 +165,36 @@ scheduleThreads(SchedAlgo algo, const Die &die,
       }
     }
 
-    std::vector<std::size_t> assignment(numThreads);
-    for (std::size_t slot = 0; slot < numThreads; ++slot)
-        assignment[threadOrder[slot]] = corePool[slot];
-    return assignment;
+    return placeThreads(threadOrder, corePool);
 }
 
 std::vector<std::size_t>
 scheduleThreadsThermal(const Die &die,
                        const std::vector<const AppProfile *> &threads,
-                       const std::vector<double> &coreTempC, Rng &rng)
+                       const std::vector<double> &coreTempC, Rng &rng,
+                       const std::vector<bool> *available)
 {
     const std::size_t numThreads = threads.size();
     assert(numThreads <= die.numCores());
     assert(coreTempC.size() == die.numCores());
+    (void)die;
 
     // Coolest cores first; hottest threads onto the coolest cores.
     // Unlike VarP this ranking is *dynamic*: as the previously-loaded
     // cores heat up, the next interval picks different cores, which
     // is exactly the activity migration of Heo et al. the paper's
     // Section 8 proposes.
-    auto corePool = sortedIndices(coreTempC, /*descending=*/false);
-    corePool.resize(numThreads);
+    auto corePool = filterAvailable(
+        sortedIndices(coreTempC, /*descending=*/false), available);
+    if (corePool.size() > numThreads)
+        corePool.resize(numThreads);
 
     std::vector<double> dynPower(numThreads);
     for (std::size_t t = 0; t < numThreads; ++t)
         dynPower[t] = threads[t]->dynPowerW * (1.0 + 0.02 * rng.normal());
     const auto threadOrder = sortedIndices(dynPower, /*descending=*/true);
 
-    std::vector<std::size_t> assignment(numThreads);
-    for (std::size_t slot = 0; slot < numThreads; ++slot)
-        assignment[threadOrder[slot]] = corePool[slot];
-    return assignment;
+    return placeThreads(threadOrder, corePool);
 }
 
 } // namespace varsched

@@ -52,6 +52,14 @@ enum class SchedAlgo
 const char *schedAlgoName(SchedAlgo algo);
 
 /**
+ * Assignment value of a thread that could not be placed (more
+ * threads than healthy cores after failures): the thread is parked
+ * and makes no progress until a core frees up.
+ */
+inline constexpr std::size_t kNoCore =
+    static_cast<std::size_t>(-1);
+
+/**
  * Assign threads to cores.
  *
  * @param algo Algorithm from Table 1.
@@ -59,11 +67,17 @@ const char *schedAlgoName(SchedAlgo algo);
  * @param threads One profile per thread;
  *        @pre threads.size() <= die.numCores().
  * @param rng Stream for random placement and profiling noise.
- * @return For each thread, the core it runs on (distinct cores).
+ * @param available Optional per-core health mask (size numCores());
+ *        failed cores are excluded from placement. When more threads
+ *        than healthy cores remain, the lowest-ranked threads are
+ *        parked at kNoCore.
+ * @return For each thread, the core it runs on (distinct cores), or
+ *         kNoCore for a parked thread.
  */
 std::vector<std::size_t> scheduleThreads(
     SchedAlgo algo, const Die &die,
-    const std::vector<const AppProfile *> &threads, Rng &rng);
+    const std::vector<const AppProfile *> &threads, Rng &rng,
+    const std::vector<bool> *available = nullptr);
 
 /**
  * Temperature-aware variant (SchedAlgo::ThermalAware): in addition to
@@ -72,10 +86,12 @@ std::vector<std::size_t> scheduleThreads(
  * coolest cores.
  *
  * @param coreTempC Current temperature of every core on the die.
+ * @param available Optional per-core health mask, as above.
  */
 std::vector<std::size_t> scheduleThreadsThermal(
     const Die &die, const std::vector<const AppProfile *> &threads,
-    const std::vector<double> &coreTempC, Rng &rng);
+    const std::vector<double> &coreTempC, Rng &rng,
+    const std::vector<bool> *available = nullptr);
 
 /**
  * Rank helper exposed for tests: indices of @p values sorted

@@ -1,8 +1,9 @@
 #include "core/system.hh"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "core/exhaustive.hh"
 #include "core/linopt.hh"
@@ -13,6 +14,68 @@
 
 namespace varsched
 {
+
+namespace
+{
+
+/** Require a positive timing/budget parameter. */
+void
+requirePositive(double value, const char *name)
+{
+    if (!(value > 0.0)) {
+        throw std::invalid_argument(
+            std::string("SystemConfig::") + name +
+            " must be > 0 (got " + std::to_string(value) + ")");
+    }
+}
+
+/** Require @p intervalMs to be a whole multiple of the tick. */
+void
+requireMultipleOfTick(double intervalMs, double tickMs,
+                      const char *name)
+{
+    const double ratio = intervalMs / tickMs;
+    if (std::abs(ratio - std::round(ratio)) > 1e-6 * ratio) {
+        throw std::invalid_argument(
+            std::string("SystemConfig::") + name + " (" +
+            std::to_string(intervalMs) +
+            " ms) must be a whole multiple of tickMs (" +
+            std::to_string(tickMs) + " ms)");
+    }
+}
+
+} // namespace
+
+void
+validateSystemConfig(const SystemConfig &config, std::size_t numCores)
+{
+    requirePositive(config.tickMs, "tickMs");
+    requirePositive(config.durationMs, "durationMs");
+    requirePositive(config.osIntervalMs, "osIntervalMs");
+    requirePositive(config.dvfsIntervalMs, "dvfsIntervalMs");
+    requireMultipleOfTick(config.dvfsIntervalMs, config.tickMs,
+                          "dvfsIntervalMs");
+    requireMultipleOfTick(config.osIntervalMs, config.tickMs,
+                          "osIntervalMs");
+    if (config.pm != PmKind::None)
+        requirePositive(config.ptargetW, "ptargetW");
+    for (const SensorFaultSpec &s : config.faults.sensorFaults) {
+        if (s.coreId >= numCores) {
+            throw std::invalid_argument(
+                "FaultSpec sensor fault names core " +
+                std::to_string(s.coreId) + " but the die has only " +
+                std::to_string(numCores) + " cores");
+        }
+    }
+    for (const CoreFailureSpec &f : config.faults.coreFailures) {
+        if (f.coreId >= numCores) {
+            throw std::invalid_argument(
+                "FaultSpec core failure names core " +
+                std::to_string(f.coreId) + " but the die has only " +
+                std::to_string(numCores) + " cores");
+        }
+    }
+}
 
 const char *
 pmKindName(PmKind kind)
@@ -64,11 +127,24 @@ SystemSimulator::SystemSimulator(const Die &die,
     : die_(die), apps_(std::move(apps)), config_(config),
       evaluator_(die)
 {
-    assert(apps_.size() <= die_.numCores());
-    assert(!apps_.empty());
+    validateSystemConfig(config_, die_.numCores());
+    if (apps_.empty())
+        throw std::invalid_argument("SystemSimulator needs >= 1 app");
+    if (apps_.size() > die_.numCores()) {
+        throw std::invalid_argument(
+            "SystemSimulator: " + std::to_string(apps_.size()) +
+            " threads exceed the die's " +
+            std::to_string(die_.numCores()) + " cores");
+    }
     manager_ = makePowerManager(config_.pm, config_.sannEvals,
                                 config_.seed ^ 0x5A5A,
                                 config_.pmObjective);
+    if (config_.guardedPm && config_.pm != PmKind::None) {
+        auto guarded = std::make_unique<GuardedPowerManager>(
+            std::move(manager_), config_.guard);
+        guard_ = guarded.get();
+        manager_ = std::move(guarded);
+    }
 }
 
 SystemResult
@@ -79,6 +155,11 @@ SystemSimulator::run()
 
     Rng rng(config_.seed);
     Rng noiseRng = rng.fork(0xDEAD);
+    // Seeded independently of the main stream so enabling a fault
+    // schedule does not perturb placement/phase/noise draws.
+    FaultInjector injector(config_.faults,
+                           config_.seed * 0x9e3779b97f4a7c15ull ^
+                               0xFA0175EEDull);
 
     const double pcoreMax = config_.pcoreMaxW > 0.0
         ? config_.pcoreMaxW
@@ -93,10 +174,11 @@ SystemSimulator::run()
     const double uniFreq =
         config_.uniformFrequency ? die_.uniformFreq() : 0.0;
 
-    std::vector<std::size_t> assignment; // thread -> core
+    std::vector<std::size_t> assignment; // thread -> core (or kNoCore)
     std::vector<CoreWork> work(numCores);
     std::vector<int> coreLevels(numCores,
                                 static_cast<int>(die_.maxLevel()));
+    std::vector<bool> coreOk(numCores, true);
     ChipCondition cond;
     bool haveCondition = false;
 
@@ -104,6 +186,10 @@ SystemSimulator::run()
         for (auto &w : work)
             w = CoreWork{};
         for (std::size_t t = 0; t < numThreads; ++t) {
+            // Parked threads, and threads whose core died since the
+            // last OS interval, make no progress.
+            if (assignment[t] == kNoCore || !coreOk[assignment[t]])
+                continue;
             const Phase &ph = phases[t].current();
             CoreWork w;
             w.app = apps_[t];
@@ -135,18 +221,33 @@ SystemSimulator::run()
         1, static_cast<std::size_t>(
                std::llround(config_.dvfsIntervalMs / config_.tickMs)));
 
+    // Guard-tier bookkeeping (recovery-latency metric).
+    int prevTier = 0;
+    double degradeStartMs = 0.0;
+    double totalRecoveryMs = 0.0;
+    std::size_t recoveryEpisodes = 0;
+
     for (std::size_t tick = 0; tick < totalTicks; ++tick) {
+        const double nowMs = static_cast<double>(tick) * config_.tickMs;
+        injector.advanceTo(nowMs);
+        for (std::size_t c = 0; c < numCores; ++c) {
+            if (coreOk[c] && injector.coreFailed(c))
+                coreOk[c] = false;
+        }
+
         // OS scheduling interval: revisit thread placement. The
         // ThermalAware extension consumes the live temperature map
         // (activity migration); cold start falls back to Random.
+        // Threads on cores that failed since the last interval are
+        // remapped here (failed cores are masked out of the pools).
         if (tick % osPeriod == 0) {
             if (config_.sched == SchedAlgo::ThermalAware &&
                 haveCondition) {
                 assignment = scheduleThreadsThermal(
-                    die_, apps_, cond.coreTempC, rng);
+                    die_, apps_, cond.coreTempC, rng, &coreOk);
             } else {
-                assignment =
-                    scheduleThreads(config_.sched, die_, apps_, rng);
+                assignment = scheduleThreads(config_.sched, die_,
+                                             apps_, rng, &coreOk);
             }
             refreshWork();
             if (!haveCondition) {
@@ -156,18 +257,22 @@ SystemSimulator::run()
         }
         refreshWork();
 
-        // DVFS interval: re-run the power manager on fresh sensors.
+        // DVFS interval: re-run the power manager on fresh sensors
+        // (read through the fault injector), then push the chosen
+        // levels through the — possibly faulty — actuators.
         if (config_.pm != PmKind::None && tick % dvfsPeriod == 0) {
             const ChipSnapshot snap = buildSnapshot(
                 evaluator_, work, cond, config_.ptargetW, pcoreMax,
-                config_.sensorNoise ? &noiseRng : nullptr);
+                config_.sensorNoise ? &noiseRng : nullptr, &injector);
             const std::vector<int> active =
                 manager_->selectLevels(snap);
             for (std::size_t i = 0; i < snap.cores.size(); ++i) {
                 const std::size_t core = snap.cores[i].coreId;
+                const int applied = injector.actuate(
+                    core, coreLevels[core], active[i]);
                 transitionSteps +=
-                    std::abs(active[i] - coreLevels[core]);
-                coreLevels[core] = active[i];
+                    std::abs(applied - coreLevels[core]);
+                coreLevels[core] = applied;
             }
         }
 
@@ -213,6 +318,22 @@ SystemSimulator::run()
             sumDev += std::abs(cond.totalPowerW - config_.ptargetW) /
                 config_.ptargetW;
         }
+
+        // Close the guard's loop on the settled (regulator-side)
+        // power and track its tier for the recovery metrics.
+        if (guard_ != nullptr) {
+            guard_->observeSettled(cond, config_.ptargetW, pcoreMax);
+            const int tier = static_cast<int>(guard_->tier());
+            if (prevTier == 0 && tier > 0)
+                degradeStartMs = nowMs;
+            if (prevTier > 0 && tier == 0) {
+                totalRecoveryMs += nowMs - degradeStartMs;
+                ++recoveryEpisodes;
+            }
+            if (tier > 0)
+                result.degradedTimeMs += config_.tickMs;
+            prevTier = tier;
+        }
         result.powerTrace.push_back(cond.totalPowerW);
         result.energyJ += cond.totalPowerW * config_.tickMs * 1e-3;
         result.instructions +=
@@ -250,6 +371,21 @@ SystemSimulator::run()
         ? transitionLostMipsMs / (sumMips * config_.tickMs +
                                   transitionLostMipsMs)
         : 0.0;
+
+    result.capViolationFraction = config_.pm != PmKind::None
+        ? capViolationFraction(result.powerTrace, config_.ptargetW)
+        : 0.0;
+    result.dvfsFaultsInjected = injector.dvfsFaultsInjected();
+    result.coresFailed = injector.coresFailed();
+    if (guard_ != nullptr) {
+        result.fallbackEngagements = guard_->stats().fallbackEngagements;
+        result.guardRecoveries = guard_->stats().recoveries;
+        result.finalGuardTier = static_cast<int>(guard_->tier());
+        result.sensorQuarantines = guard_->sensorQuarantines();
+        result.meanRecoveryMs = recoveryEpisodes > 0
+            ? totalRecoveryMs / static_cast<double>(recoveryEpisodes)
+            : 0.0;
+    }
     return result;
 }
 

@@ -20,8 +20,10 @@
 #include <vector>
 
 #include "chip/sensors.hh"
+#include "core/guarded.hh"
 #include "core/pmalgo.hh"
 #include "core/sched.hh"
+#include "fault/fault.hh"
 
 namespace varsched
 {
@@ -94,7 +96,38 @@ struct SystemConfig
 
     /** Seed for placement, phases, noise, and SAnn. */
     std::uint64_t seed = 1;
+
+    /**
+     * Fault schedule injected into sensors, DVFS actuation, and
+     * cores (see fault/fault.hh). Empty by default. Faults draw from
+     * their own fork of @ref seed, so a run is a pure function of
+     * (die, workload, config).
+     */
+    FaultSpec faults;
+
+    /**
+     * Wrap the power manager in a GuardedPowerManager (sensor
+     * validation, decision cross-checks, and the LinOpt -> Foxton*
+     * -> safe-mode fallback chain; see core/guarded.hh). Ignored
+     * when pm == None.
+     */
+    bool guardedPm = false;
+
+    /** Guard tuning (used when guardedPm is set). */
+    GuardConfig guard;
 };
+
+/**
+ * Validate a run configuration, throwing std::invalid_argument with
+ * a precise message on bad timing parameters (non-positive tick /
+ * DVFS / OS intervals or duration, a DVFS or OS interval that is not
+ * a whole multiple of the tick), a non-positive Ptarget when a power
+ * manager is enabled, or fault specs naming cores beyond
+ * @p numCores. Called by SystemSimulator's constructor; exposed for
+ * front-ends that want to validate before constructing.
+ */
+void validateSystemConfig(const SystemConfig &config,
+                          std::size_t numCores);
 
 /** Aggregated outcome of one system run. */
 struct SystemResult
@@ -131,6 +164,30 @@ struct SystemResult
     double projectedLifetimeYears = 0.0;
     /** Throughput lost to voltage-transition stalls, fraction. */
     double transitionLossFraction = 0.0;
+
+    // Robustness metrics (meaningful under faults / guardedPm).
+
+    /**
+     * Fraction of ticks whose settled chip power exceeded Ptarget by
+     * more than 5% (0 when pm == None).
+     */
+    double capViolationFraction = 0.0;
+    /** Guard fallback-chain engagements (tier degrades). */
+    std::size_t fallbackEngagements = 0;
+    /** Times the guard recovered all the way back to the primary. */
+    std::size_t guardRecoveries = 0;
+    /** Guard tier at the end of the run (0 = primary manager). */
+    int finalGuardTier = 0;
+    /** Mean degrade-to-primary-recovery latency, ms (0 if none). */
+    double meanRecoveryMs = 0.0;
+    /** Total time spent below the primary tier, ms. */
+    double degradedTimeMs = 0.0;
+    /** Power sensors quarantined by the validator (events). */
+    std::size_t sensorQuarantines = 0;
+    /** DVFS transitions dropped or cut short by injected faults. */
+    std::size_t dvfsFaultsInjected = 0;
+    /** Cores permanently failed during the run. */
+    std::size_t coresFailed = 0;
 };
 
 /** Drives one workload on one die under one configuration. */
@@ -156,6 +213,8 @@ class SystemSimulator
     SystemConfig config_;
     ChipEvaluator evaluator_;
     std::unique_ptr<PowerManager> manager_;
+    /** Set when config_.guardedPm wrapped manager_ (not owning). */
+    GuardedPowerManager *guard_ = nullptr;
 };
 
 /** Instantiate a power manager by kind (seeded where relevant). */

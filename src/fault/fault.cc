@@ -1,0 +1,96 @@
+#include "fault/fault.hh"
+
+namespace varsched
+{
+
+FaultInjector::FaultInjector(const FaultSpec &spec, std::uint64_t seed)
+    : spec_(spec), rng_(seed)
+{
+}
+
+double
+FaultInjector::tamperPower(std::size_t coreId, std::size_t level,
+                           double trueW)
+{
+    (void)level; // the sensor, not the operating point, is faulty
+    double out = trueW;
+    for (const SensorFaultSpec &s : spec_.sensorFaults) {
+        if (s.coreId != coreId)
+            continue;
+        if (nowMs_ < s.startMs || (s.endMs >= 0.0 && nowMs_ >= s.endMs))
+            continue;
+        switch (s.kind) {
+          case SensorFaultKind::StuckAt:
+            out = s.magnitude;
+            break;
+          case SensorFaultKind::Dropout:
+            out = 0.0;
+            break;
+          case SensorFaultKind::Spike:
+            if (rng_.uniform() < s.probability)
+                out *= s.magnitude;
+            break;
+          case SensorFaultKind::Drift:
+            out += s.magnitude * (nowMs_ - s.startMs);
+            break;
+        }
+        ++tampered_;
+    }
+    return out;
+}
+
+int
+FaultInjector::actuate(std::size_t coreId, int currentLevel,
+                       int requestedLevel)
+{
+    (void)coreId;
+    if (requestedLevel == currentLevel)
+        return requestedLevel;
+    // Draws happen only for configured fault classes so that a
+    // zero-rate spec consumes no randomness (bit-identical to a
+    // fault-free run).
+    if (spec_.dvfs.failRate > 0.0 &&
+        rng_.uniform() < spec_.dvfs.failRate) {
+        ++dvfsFaults_;
+        return currentLevel;
+    }
+    if (spec_.dvfs.shortStepRate > 0.0 &&
+        rng_.uniform() < spec_.dvfs.shortStepRate) {
+        ++dvfsFaults_;
+        return requestedLevel > currentLevel ? requestedLevel - 1
+                                             : requestedLevel + 1;
+    }
+    return requestedLevel;
+}
+
+bool
+FaultInjector::coreFailed(std::size_t coreId) const
+{
+    for (const CoreFailureSpec &f : spec_.coreFailures) {
+        if (f.coreId == coreId && nowMs_ >= f.atMs)
+            return true;
+    }
+    return false;
+}
+
+std::size_t
+FaultInjector::coresFailed() const
+{
+    std::size_t n = 0;
+    const auto &specs = spec_.coreFailures;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (nowMs_ < specs[i].atMs)
+            continue;
+        bool counted = false; // same core listed twice counts once
+        for (std::size_t j = 0; j < i; ++j) {
+            if (specs[j].coreId == specs[i].coreId &&
+                nowMs_ >= specs[j].atMs)
+                counted = true;
+        }
+        if (!counted)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace varsched

@@ -1,0 +1,141 @@
+#include "fault/validate.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace varsched
+{
+
+SensorValidator::SensorValidator(const ValidatorConfig &config)
+    : config_(config)
+{
+}
+
+bool
+SensorValidator::plausible(const CoreSnapshot &core,
+                           const ChipSnapshot &snap,
+                           const SensorHealth &h) const
+{
+    if (core.powerW.empty())
+        return false;
+
+    const double ceiling = std::max(
+        config_.maxCoreW,
+        snap.pcoreMaxW > 0.0 ? 3.0 * snap.pcoreMaxW : 0.0);
+    for (double p : core.powerW) {
+        if (!(p >= config_.minCoreW) || p > ceiling ||
+            !std::isfinite(p))
+            return false;
+    }
+
+    // A live power curve rises with voltage; a stuck sensor is flat.
+    const double lo = core.powerW.front();
+    const double hi = core.powerW.back();
+    if (hi - lo < config_.minCurveSpreadFraction * std::max(hi, 1e-9))
+        return false;
+    for (std::size_t l = 1; l < core.powerW.size(); ++l) {
+        if (core.powerW[l] <
+            core.powerW[l - 1] * (1.0 - config_.monotoneTolerance))
+            return false;
+    }
+
+    // Rate-of-change vs the last curve that passed (fresh only).
+    if (!h.lastGood.empty() && h.staleness == 0 &&
+        h.lastGood.size() == core.powerW.size()) {
+        const double ref = h.lastGood.back();
+        if (std::abs(hi - ref) >
+            config_.maxChangeFraction * std::max(ref, 1.0))
+            return false;
+    }
+    return true;
+}
+
+std::vector<double>
+SensorValidator::pessimisticCurve(const ChipSnapshot &snap) const
+{
+    // Conservative stand-in: assume the core burns its full per-core
+    // cap at the top voltage, scaled down quadratically with V. Over-
+    // estimating power makes every manager pick lower, safer levels.
+    const double cap =
+        snap.pcoreMaxW > 0.0 ? snap.pcoreMaxW : config_.maxCoreW;
+    const double vTop =
+        snap.voltage.empty() ? 1.0 : snap.voltage.back();
+    std::vector<double> curve;
+    curve.reserve(snap.voltage.size());
+    for (double v : snap.voltage)
+        curve.push_back(cap * (v / vTop) * (v / vTop));
+    return curve;
+}
+
+std::size_t
+SensorValidator::sanitise(ChipSnapshot &snap)
+{
+    std::size_t substituted = 0;
+    for (CoreSnapshot &core : snap.cores) {
+        SensorHealth &h = health_[core.coreId];
+        if (plausible(core, snap, h)) {
+            h.badStreak = 0;
+            ++h.goodStreak;
+            if (h.quarantined &&
+                h.goodStreak >= config_.recoverAfter)
+                h.quarantined = false;
+            if (!h.quarantined) {
+                h.lastGood = core.powerW;
+                h.staleness = 0;
+            }
+        } else {
+            h.goodStreak = 0;
+            ++h.badStreak;
+            if (!h.quarantined &&
+                h.badStreak >= config_.quarantineAfter) {
+                h.quarantined = true;
+                ++quarantineEvents_;
+            }
+        }
+        if (h.quarantined) {
+            ++substituted;
+            ++h.staleness;
+            if (!h.lastGood.empty() &&
+                h.lastGood.size() == core.powerW.size() &&
+                h.staleness <= config_.maxStaleIntervals) {
+                core.powerW = h.lastGood;
+            } else {
+                core.powerW = pessimisticCurve(snap);
+            }
+        }
+    }
+    return substituted;
+}
+
+void
+SensorValidator::reportMismatch(std::size_t coreId)
+{
+    SensorHealth &h = health_[coreId];
+    h.goodStreak = 0;
+    ++h.badStreak;
+    if (!h.quarantined && h.badStreak >= config_.quarantineAfter) {
+        h.quarantined = true;
+        ++quarantineEvents_;
+    }
+}
+
+bool
+SensorValidator::allTrusted() const
+{
+    for (const auto &[coreId, h] : health_) {
+        (void)coreId;
+        if (h.quarantined)
+            return false;
+    }
+    return true;
+}
+
+const SensorHealth &
+SensorValidator::health(std::size_t coreId) const
+{
+    static const SensorHealth kFresh;
+    const auto it = health_.find(coreId);
+    return it == health_.end() ? kFresh : it->second;
+}
+
+} // namespace varsched

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "chip/sensors.hh"
 #include "core/exhaustive.hh"
@@ -92,6 +93,38 @@ TEST(FoxtonStar, EnforcesPerCoreCap)
                       levels[i])],
                   4.0 + 1e-9);
     }
+}
+
+TEST(FoxtonStar, CapTighterThanLowestLevelBottomsOut)
+{
+    // Even the 0.6 V level burns 1.8 W; a 1 W per-core cap is
+    // unsatisfiable and must pin every core to the lowest level
+    // rather than loop or go out of range.
+    const auto snap = syntheticSnapshot(3, 100.0, 1.0,
+                                        {1.0, 1.0, 1.0});
+    FoxtonStarManager pm;
+    EXPECT_EQ(pm.selectLevels(snap), (std::vector<int>{0, 0, 0}));
+}
+
+TEST(FoxtonStar, SingleActiveCoreReducesAlone)
+{
+    // One active core, 2 W uncore: a 4.5 W budget leaves 2.5 W for
+    // the core, which the 0.7 V level (2.45 W) just satisfies.
+    const auto snap = syntheticSnapshot(1, 4.5, 100.0, {1.0});
+    FoxtonStarManager pm;
+    const auto levels = pm.selectLevels(snap);
+    ASSERT_EQ(levels.size(), 1u);
+    EXPECT_EQ(levels[0], 1);
+    EXPECT_LE(snap.powerAt(levels), 4.5 + 1e-9);
+}
+
+TEST(FoxtonStar, SingleCoreHonoursPerCoreCap)
+{
+    // Loose chip budget, tight per-core cap: the cap alone drives
+    // the reduction (2 W admits only the 0.6 V level at 1.8 W).
+    const auto snap = syntheticSnapshot(1, 100.0, 2.0, {1.0});
+    FoxtonStarManager pm;
+    EXPECT_EQ(pm.selectLevels(snap), (std::vector<int>{0}));
 }
 
 TEST(FoxtonStar, UnreachableBudgetBottomsOut)
@@ -179,6 +212,17 @@ TEST(LinOpt, TwoPointFitAlsoWorks)
     const auto levels = pm.selectLevels(snap);
     EXPECT_LE(snap.powerAt(levels), 13.0 + 1e-9);
     EXPECT_GT(levels[0], levels[1]);
+}
+
+TEST(LinOpt, RejectsUnsupportedSamplePointCounts)
+{
+    // The 2-or-3-sample restriction (Section 5.2) is a validated
+    // error in release builds, not a stripped assert.
+    LinOptConfig config;
+    config.powerSamplePoints = 4;
+    EXPECT_THROW(LinOptManager{config}, std::invalid_argument);
+    config.powerSamplePoints = 0;
+    EXPECT_THROW(LinOptManager{config}, std::invalid_argument);
 }
 
 TEST(LinOpt, DiagnosticsPopulated)
