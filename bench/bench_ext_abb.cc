@@ -22,6 +22,7 @@ using namespace varsched;
 int
 main()
 {
+    bench::PerfRecorder perf("bench_ext_abb");
     bench::banner("Extension: Adaptive Body Bias (Humenay et al.)",
                   "ABB reduces frequency variation at the cost of "
                   "power variation");

@@ -18,6 +18,7 @@ using namespace varsched;
 int
 main()
 {
+    bench::PerfRecorder perf("bench_ext_transitions");
     bench::banner("Extension: voltage transition overhead vs DVFS "
                   "granularity",
                   "on-chip regulators (Kim et al.) enable fine-grained "
@@ -42,7 +43,7 @@ main()
         config.dvfsIntervalMs = ivl;
         config.durationMs = 200.0;
         config.transitionUsPerStep = us;
-        const auto r = runBatch(batch, 20, {config});
+        const auto r = perf.run(batch, 20, {config});
         return r.absolute[0].mips.mean();
     };
 

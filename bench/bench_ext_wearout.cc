@@ -20,6 +20,7 @@ using namespace varsched;
 int
 main()
 {
+    bench::PerfRecorder perf("bench_ext_wearout");
     bench::banner("Extension: policy impact on wearout (Section 8)",
                   "not a paper figure — the paper lists this as "
                   "planned work");
@@ -40,7 +41,7 @@ main()
     }
 
     const std::size_t threads = 8;
-    const auto r = runBatch(batch, threads, configs);
+    const auto r = perf.run(batch, threads, configs);
 
     std::printf("%-14s %12s %14s %16s\n", "scheduler", "rel MIPS",
                 "worst aging", "lifetime (yr)");

@@ -64,6 +64,7 @@ yieldRow(double sigma, double abb, std::size_t lot,
 int
 main()
 {
+    bench::PerfRecorder perf("bench_ext_yield");
     bench::banner("Extension: frequency-binning yield vs sigma/mu "
                   "and ABB",
                   "manufacturer's view of Fig 4/5; not a paper "

@@ -62,6 +62,7 @@ coreRatios(const Die &die, double &powerRatio, double &freqRatio)
 int
 main()
 {
+    bench::PerfRecorder perf("bench_fig04_variation");
     bench::banner(
         "Fig 4: core-to-core power and frequency variation histograms",
         "power ratio mostly 1.4-1.7 (mean ~1.53); frequency ratio "

@@ -56,6 +56,7 @@ coreRatios(const Die &die, double &powerRatio, double &freqRatio)
 int
 main()
 {
+    bench::PerfRecorder perf("bench_fig05_sigma_sweep");
     bench::banner(
         "Fig 5: power/frequency variation vs Vth sigma/mu",
         "ratios increase with sigma/mu; significant already at 0.06");

@@ -18,6 +18,7 @@ using namespace varsched;
 int
 main()
 {
+    bench::PerfRecorder perf("bench_fig07_unifreq");
     bench::banner("Fig 7: UniFreq power (a) and ED^2 (b) vs Random",
                   "VarP/VarP&AppP save ~10% power at 4 threads, ~0% "
                   "at 20");
@@ -41,7 +42,7 @@ main()
                 "Random", "VarP", "VarP&AppP", "Random", "VarP",
                 "VarP&AppP");
     for (std::size_t threads : bench::threadSweep(true)) {
-        const auto r = runBatch(batch, threads, configs);
+        const auto r = perf.run(batch, threads, configs);
         std::printf("%-8zu | %8.3f %9.3f %9.3f | %8.3f %9.3f %9.3f\n",
                     threads, r.relative[0].powerW.mean(),
                     r.relative[1].powerW.mean(),

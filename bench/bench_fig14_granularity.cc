@@ -18,6 +18,7 @@ using namespace varsched;
 int
 main()
 {
+    bench::PerfRecorder perf("bench_fig14_granularity");
     bench::banner("Fig 14: power deviation from Ptarget vs LinOpt "
                   "interval",
                   "deviation shrinks with the interval; <1% at 10 ms");
@@ -44,7 +45,7 @@ main()
             config.durationMs = std::max(3.0 * interval, 400.0);
             config.osIntervalMs = config.durationMs; // schedule once
             const auto r =
-                runBatch(batch, threadCounts[i], {config});
+                perf.run(batch, threadCounts[i], {config});
             dev[i] = r.absolute[0].deviation.mean() * 100.0;
         }
         std::printf("%-12.0f %16.2f %16.2f\n", interval, dev[0],

@@ -13,6 +13,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/common.hh"
 #include "chip/sensors.hh"
 #include "core/linopt.hh"
 #include "core/sann.hh"
@@ -22,6 +23,9 @@ using namespace varsched;
 
 namespace
 {
+
+/** Whole-binary wall clock into BENCH_PR2.json (no batch here). */
+bench::PerfRecorder perf("bench_fig15_linopt_time");
 
 /** Snapshot cache shared by all benchmark repetitions. */
 const ChipSnapshot &

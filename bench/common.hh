@@ -4,17 +4,29 @@
  * tables and figures. Each binary prints the same rows/series the
  * paper reports, normalised the same way, so output can be compared
  * against the figures directly. Batch sizes honour VARSCHED_DIES /
- * VARSCHED_TRIALS.
+ * VARSCHED_TRIALS; the batch runner's worker count honours
+ * VARSCHED_THREADS (default: hardware concurrency).
+ *
+ * Every bench owns a PerfRecorder, which times its runBatch() calls
+ * (or, for benches that do not run batches, the whole binary) and
+ * merges a per-bench entry into BENCH_PR2.json — the repo's
+ * perf-trajectory record. With VARSCHED_BENCH_COMPARE=1 each batch is
+ * re-run serially to measure the speedup and to verify that the
+ * parallel runner's metrics are bit-identical to the serial path.
  */
 
 #ifndef VARSCHED_BENCH_COMMON_HH
 #define VARSCHED_BENCH_COMMON_HH
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <unistd.h>
 #include <vector>
 
 #include "core/experiment.hh"
+#include "runtime/threadpool.hh"
 
 namespace varsched::bench
 {
@@ -35,9 +47,12 @@ banner(const std::string &what, const std::string &paperSays)
 inline void
 describeBatch(const BatchConfig &batch)
 {
-    std::printf("[batch: %zu dies x %zu trials; override with "
-                "VARSCHED_DIES / VARSCHED_TRIALS]\n\n",
-                batch.numDies, batch.numTrials);
+    std::printf("[batch: %zu dies x %zu trials on %zu worker threads; "
+                "override with VARSCHED_DIES / VARSCHED_TRIALS / "
+                "VARSCHED_THREADS]\n\n",
+                batch.numDies, batch.numTrials,
+                batch.workerThreads > 0 ? batch.workerThreads
+                                        : configuredThreads());
 }
 
 /** The thread counts the paper sweeps in the scheduling figures. */
@@ -48,6 +63,187 @@ threadSweep(bool includeTwo)
         return {2, 4, 8, 16, 20};
     return {4, 8, 16, 20};
 }
+
+/** Monotonic wall-clock seconds. */
+inline double
+nowSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Exact (bitwise) equality of two summaries. */
+inline bool
+identicalSummary(const Summary &a, const Summary &b)
+{
+    return a.count() == b.count() && a.mean() == b.mean() &&
+           a.stddev() == b.stddev() && a.min() == b.min() &&
+           a.max() == b.max() && a.sum() == b.sum();
+}
+
+/** Exact equality of two batch results (every summary, every config). */
+inline bool
+identicalBatchResult(const BatchResult &a, const BatchResult &b)
+{
+    if (a.absolute.size() != b.absolute.size())
+        return false;
+    for (std::size_t k = 0; k < a.absolute.size(); ++k) {
+        const ConfigMetrics &x = a.absolute[k];
+        const ConfigMetrics &y = b.absolute[k];
+        if (!identicalSummary(x.mips, y.mips) ||
+            !identicalSummary(x.weightedIpc, y.weightedIpc) ||
+            !identicalSummary(x.powerW, y.powerW) ||
+            !identicalSummary(x.freqHz, y.freqHz) ||
+            !identicalSummary(x.ed2, y.ed2) ||
+            !identicalSummary(x.weightedEd2, y.weightedEd2) ||
+            !identicalSummary(x.deviation, y.deviation) ||
+            !identicalSummary(x.worstAging, y.worstAging) ||
+            !identicalSummary(x.lifetimeYears, y.lifetimeYears))
+            return false;
+        const RelativeMetrics &p = a.relative[k];
+        const RelativeMetrics &q = b.relative[k];
+        if (!identicalSummary(p.mips, q.mips) ||
+            !identicalSummary(p.weightedIpc, q.weightedIpc) ||
+            !identicalSummary(p.weightedProgress, q.weightedProgress) ||
+            !identicalSummary(p.powerW, q.powerW) ||
+            !identicalSummary(p.freqHz, q.freqHz) ||
+            !identicalSummary(p.ed2, q.ed2) ||
+            !identicalSummary(p.weightedEd2, q.weightedEd2))
+            return false;
+    }
+    return true;
+}
+
+/**
+ * Per-bench wall-clock recorder. Times every batch routed through
+ * run() and merges one entry into BENCH_PR2.json (path override:
+ * VARSCHED_BENCH_JSON) at destruction. Benches without batches
+ * record their whole lifetime instead.
+ */
+class PerfRecorder
+{
+  public:
+    explicit PerfRecorder(std::string benchName)
+        : name_(std::move(benchName)), born_(nowSeconds()),
+          compare_(envSize("VARSCHED_BENCH_COMPARE", 0) == 1)
+    {}
+
+    PerfRecorder(const PerfRecorder &) = delete;
+    PerfRecorder &operator=(const PerfRecorder &) = delete;
+
+    /**
+     * Timed runBatch(). Accumulates parallel seconds; in compare mode
+     * also re-runs on one worker, accumulates serial seconds, and
+     * aborts if the two results are not bit-identical.
+     */
+    BatchResult
+    run(const BatchConfig &batch, std::size_t numThreads,
+        const std::vector<SystemConfig> &configs)
+    {
+        const double t0 = nowSeconds();
+        BatchResult result = runBatch(batch, numThreads, configs);
+        parallelSec_ += nowSeconds() - t0;
+        ranBatch_ = true;
+
+        if (compare_) {
+            BatchConfig serial = batch;
+            serial.workerThreads = 1;
+            const double s0 = nowSeconds();
+            const BatchResult ref = runBatch(serial, numThreads, configs);
+            serialSec_ += nowSeconds() - s0;
+            haveSerial_ = true;
+            if (!identicalBatchResult(result, ref)) {
+                std::fprintf(stderr,
+                             "%s: parallel batch diverged from the "
+                             "serial path\n",
+                             name_.c_str());
+                std::abort();
+            }
+        }
+        return result;
+    }
+
+    ~PerfRecorder()
+    {
+        const double parallel =
+            ranBatch_ ? parallelSec_ : nowSeconds() - born_;
+        char serial[64], speedup[64];
+        if (haveSerial_ && parallelSec_ > 0.0) {
+            std::snprintf(serial, sizeof serial, "%.6f", serialSec_);
+            std::snprintf(speedup, sizeof speedup, "%.3f",
+                          serialSec_ / parallelSec_);
+        } else {
+            std::snprintf(serial, sizeof serial, "null");
+            std::snprintf(speedup, sizeof speedup, "null");
+        }
+        char entry[512];
+        std::snprintf(
+            entry, sizeof entry,
+            "{\"bench\": \"%s\", \"threads\": %zu, "
+            "\"parallel_s\": %.6f, \"serial_s\": %s, "
+            "\"speedup\": %s, \"cg_free_thermal\": true}",
+            name_.c_str(), configuredThreads(), parallel, serial,
+            speedup);
+        mergeJson(entry);
+    }
+
+  private:
+    /**
+     * Merge this bench's entry into the JSON file: read the existing
+     * array (one entry per line, a format we control), drop any stale
+     * entry for this bench, append ours, rewrite atomically.
+     */
+    void
+    mergeJson(const std::string &entry) const
+    {
+        const char *env = std::getenv("VARSCHED_BENCH_JSON");
+        const std::string path = env ? env : "BENCH_PR2.json";
+
+        std::vector<std::string> kept;
+        if (std::FILE *in = std::fopen(path.c_str(), "r")) {
+            char line[1024];
+            const std::string marker =
+                "\"bench\": \"" + name_ + "\"";
+            while (std::fgets(line, sizeof line, in)) {
+                std::string s(line);
+                while (!s.empty() &&
+                       (s.back() == '\n' || s.back() == '\r' ||
+                        s.back() == ','))
+                    s.pop_back();
+                if (s.empty() || s.find('{') == std::string::npos)
+                    continue; // brackets / blank lines
+                if (s.find(marker) != std::string::npos)
+                    continue; // stale entry for this bench
+                const std::size_t brace = s.find('{');
+                kept.push_back(s.substr(brace));
+            }
+            std::fclose(in);
+        }
+        kept.push_back(entry);
+
+        const std::string tmp =
+            path + ".tmp." + std::to_string(::getpid());
+        std::FILE *out = std::fopen(tmp.c_str(), "w");
+        if (out == nullptr)
+            return;
+        std::fprintf(out, "[\n");
+        for (std::size_t i = 0; i < kept.size(); ++i)
+            std::fprintf(out, "  %s%s\n", kept[i].c_str(),
+                         i + 1 < kept.size() ? "," : "");
+        std::fprintf(out, "]\n");
+        std::fclose(out);
+        std::rename(tmp.c_str(), path.c_str());
+    }
+
+    std::string name_;
+    double born_;
+    bool compare_;
+    bool ranBatch_ = false;
+    bool haveSerial_ = false;
+    double parallelSec_ = 0.0;
+    double serialSec_ = 0.0;
+};
 
 } // namespace varsched::bench
 

@@ -32,7 +32,33 @@ struct BatchConfig
     std::size_t numDies = 20;
     std::size_t numTrials = 6;
     std::uint64_t seed = 2026;
+
+    /**
+     * Worker threads for the batch runner. 0 (the default) resolves
+     * to the VARSCHED_THREADS environment override, else hardware
+     * concurrency; 1 forces the serial in-line path. Results are
+     * bit-identical at every setting: each (die, trial) tuple's
+     * streams are a pure function of (seed, die, trial), and the
+     * metric reduction always runs in serial tuple order.
+     */
+    std::size_t workerThreads = 0;
 };
+
+/**
+ * Seed that manufactures die @p die of the batch — a pure function
+ * of (batch.seed, die), so dies can be built in any order or
+ * concurrently.
+ */
+std::uint64_t dieSeedFor(const BatchConfig &batch, std::size_t die);
+
+/**
+ * Workload/run stream for tuple (die, trial) — a pure function of
+ * (batch.seed, die, trial). The first draws pick the workload; the
+ * next draw is the per-run simulator seed (identical across
+ * configurations, preserving the paired-comparison protocol).
+ */
+Rng workloadRngFor(const BatchConfig &batch, std::size_t die,
+                   std::size_t trial);
 
 /**
  * Batch sized from defaults and the VARSCHED_DIES / VARSCHED_TRIALS
@@ -80,7 +106,11 @@ struct BatchResult
 };
 
 /**
- * Run every configuration over the same dies and workloads.
+ * Run every configuration over the same dies and workloads. The
+ * (die, trial) tuples are independent by construction and execute on
+ * a thread pool (see BatchConfig::workerThreads); metrics are reduced
+ * in serial tuple order afterwards, so the result is bit-identical at
+ * any worker count.
  *
  * @param batch Batch dimensions and technology parameters.
  * @param numThreads Threads per workload.

@@ -1,0 +1,98 @@
+#include "runtime/threadpool.hh"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace varsched
+{
+
+std::size_t
+configuredThreads()
+{
+    if (const char *value = std::getenv("VARSCHED_THREADS")) {
+        const long parsed = std::strtol(value, nullptr, 10);
+        if (parsed > 0)
+            return static_cast<std::size_t>(parsed);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(std::size_t numThreads)
+{
+    if (numThreads == 0)
+        numThreads = 1;
+    workers_.reserve(numThreads);
+    for (std::size_t i = 0; i < numThreads; ++i)
+        workers_.emplace_back([this]() { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock,
+                       [this]() { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping_ and drained
+            task = std::move(queue_.front());
+            queue_.pop();
+        }
+        task(); // packaged_task captures any exception
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t count,
+                        const std::function<void(std::size_t)> &fn)
+{
+    if (count == 0)
+        return;
+
+    auto cursor = std::make_shared<std::atomic<std::size_t>>(0);
+    const std::size_t numWorkers = std::min(size(), count);
+
+    std::vector<std::future<void>> futures;
+    futures.reserve(numWorkers);
+    for (std::size_t w = 0; w < numWorkers; ++w) {
+        futures.push_back(submit([cursor, count, &fn]() {
+            for (;;) {
+                const std::size_t i = cursor->fetch_add(1);
+                if (i >= count)
+                    return;
+                fn(i);
+            }
+        }));
+    }
+
+    // Wait for everything, then surface the first failure. A worker
+    // that throws stops pulling indices, but the others finish their
+    // items, so the pool is quiescent before we rethrow.
+    std::exception_ptr error;
+    for (std::future<void> &future : futures) {
+        try {
+            future.get();
+        } catch (...) {
+            if (!error)
+                error = std::current_exception();
+        }
+    }
+    if (error)
+        std::rethrow_exception(error);
+}
+
+} // namespace varsched

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Small reusable thread pool for the batch experiment layer.
+ *
+ * The paper's evaluation protocol is embarrassingly parallel — 200
+ * manufactured dies x 20 workload trials, every tuple independent by
+ * construction — so the batch runner distributes (die, trial) work
+ * items over a fixed set of workers. The pool is deliberately plain:
+ * FIFO queue, std::future-based result/exception propagation, join on
+ * destruction. Determinism is the batch layer's job (per-tuple seed
+ * derivation + ordered reduction); the pool makes no ordering
+ * promises beyond running every submitted task exactly once.
+ */
+
+#ifndef VARSCHED_RUNTIME_THREADPOOL_HH
+#define VARSCHED_RUNTIME_THREADPOOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace varsched
+{
+
+/**
+ * Worker-thread count the experiment layer should use: the
+ * VARSCHED_THREADS environment override when set and positive,
+ * otherwise hardware concurrency (at least 1).
+ */
+std::size_t configuredThreads();
+
+/** Fixed-size FIFO thread pool. */
+class ThreadPool
+{
+  public:
+    /** Spawn @p numThreads workers (clamped to at least 1). */
+    explicit ThreadPool(std::size_t numThreads);
+
+    /** Drains the queue, then joins every worker. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    std::size_t size() const { return workers_.size(); }
+
+    /**
+     * Enqueue a task. The returned future yields the task's result —
+     * or rethrows the exception it exited with — when waited on.
+     */
+    template <typename Fn>
+    auto
+    submit(Fn &&fn) -> std::future<std::invoke_result_t<Fn>>
+    {
+        using Result = std::invoke_result_t<Fn>;
+        auto task = std::make_shared<std::packaged_task<Result()>>(
+            std::forward<Fn>(fn));
+        std::future<Result> future = task->get_future();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            queue_.emplace([task]() { (*task)(); });
+        }
+        wake_.notify_one();
+        return future;
+    }
+
+    /**
+     * Run fn(0) .. fn(count-1) across the pool and wait for all of
+     * them. Indices are handed out dynamically (an atomic cursor), so
+     * uneven item costs still balance. If any invocation throws, the
+     * first exception (by completion order) is rethrown here after
+     * every worker has stopped.
+     */
+    void parallelFor(std::size_t count,
+                     const std::function<void(std::size_t)> &fn);
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    bool stopping_ = false;
+};
+
+} // namespace varsched
+
+#endif // VARSCHED_RUNTIME_THREADPOOL_HH

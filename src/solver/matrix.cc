@@ -54,6 +54,32 @@ lowerMultiply(const Matrix &l, const std::vector<double> &x)
     return y;
 }
 
+std::vector<double>
+choleskySolve(const Matrix &l, const std::vector<double> &b)
+{
+    assert(l.rows() == l.cols() && l.rows() == b.size());
+    const std::size_t n = b.size();
+
+    // Forward substitution: L·y = b.
+    std::vector<double> y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double sum = b[i];
+        for (std::size_t j = 0; j < i; ++j)
+            sum -= l(i, j) * y[j];
+        y[i] = sum / l(i, i);
+    }
+
+    // Backward substitution: Lᵀ·x = y.
+    std::vector<double> x(n);
+    for (std::size_t i = n; i-- > 0;) {
+        double sum = y[i];
+        for (std::size_t j = i + 1; j < n; ++j)
+            sum -= l(j, i) * x[j];
+        x[i] = sum / l(i, i);
+    }
+    return x;
+}
+
 std::pair<double, double>
 fitLine(const std::vector<double> &x, const std::vector<double> &y)
 {

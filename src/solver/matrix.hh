@@ -57,6 +57,16 @@ std::vector<double> lowerMultiply(const Matrix &l,
                                   const std::vector<double> &x);
 
 /**
+ * Solve A·x = b given the Cholesky factor L of A (A = L·Lᵀ) by a
+ * forward and a backward triangular substitution — O(n²) per
+ * right-hand side versus O(n²) *per iteration* for CG, which is why
+ * the thermal models factor once at construction and call this every
+ * tick.
+ */
+std::vector<double> choleskySolve(const Matrix &l,
+                                  const std::vector<double> &b);
+
+/**
  * Least-squares fit of y ≈ b·x + c.
  *
  * @return {b, c}. With fewer than two points, returns {0, y0-or-0}.

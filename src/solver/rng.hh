@@ -20,6 +20,31 @@
 namespace varsched
 {
 
+/** One splitmix64 mixing step (also the Rng state expander). */
+inline std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/**
+ * Derive a child seed as a pure function of (seed, a, b) — no
+ * sequential draws involved, so stream i of a batch can be derived
+ * in any order (or concurrently) and still match a serial walk.
+ * Used by the batch runner to give every (die, trial) tuple its own
+ * independent stream.
+ */
+inline std::uint64_t
+deriveSeed(std::uint64_t seed, std::uint64_t a, std::uint64_t b = 0)
+{
+    std::uint64_t x = splitmix64(seed ^ (a * 0xd1342543de82ef95ull));
+    x = splitmix64(x ^ (b * 0x2545f4914f6cdd1dull));
+    return splitmix64(x);
+}
+
 /**
  * Deterministic random number generator (xoshiro256**) with
  * convenience draws for the distributions used across the project.

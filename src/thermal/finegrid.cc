@@ -96,6 +96,12 @@ FineThermalModel::FineThermalModel(const Floorplan &plan,
     }
     addConductance(spreader, sink, 1.0 / params_.spreaderToSinkR);
     conductance_(sink, sink) += 1.0 / params_.sinkToAmbientR;
+
+    // Fixed matrix: factor once, then solve() is two triangular
+    // substitutions per power map instead of an iterative CG run.
+    const bool ok = cholesky(conductance_, factor_);
+    assert(ok);
+    (void)ok;
 }
 
 FineThermalResult
@@ -109,7 +115,7 @@ FineThermalModel::solve(const std::vector<double> &blockPowerW) const
         rhs[i] = blockPowerW[i];
     rhs[n - 1] = params_.ambientC / params_.sinkToAmbientR;
 
-    const std::vector<double> temps = solveCG(conductance_, rhs, 1e-10);
+    const std::vector<double> temps = choleskySolve(factor_, rhs);
 
     FineThermalResult result;
     result.blockTempC.assign(temps.begin(),

@@ -70,6 +70,7 @@ class FineThermalModel
     std::size_t numBlocks_;
     ThermalParams params_;
     Matrix conductance_;
+    Matrix factor_; ///< Cholesky factor of conductance_ (fixed).
 };
 
 /**

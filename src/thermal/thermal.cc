@@ -99,6 +99,22 @@ ThermalModel::ThermalModel(const Floorplan &plan,
     }
     capacity_[spreader] = params_.spreaderCapacity;
     capacity_[sink] = params_.sinkCapacity;
+
+    // The conductance matrix is fixed for the life of the model, so
+    // factor it once here; solve() then costs two triangular solves
+    // per tick instead of a full CG iteration to 1e-12.
+    const bool ok = cholesky(conductance_, factor_);
+    assert(ok);
+    (void)ok;
+
+    // Sparsity structure for the transient stepper.
+    neighbors_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            if (j != i && conductance_(i, j) != 0.0)
+                neighbors_[i].emplace_back(j, conductance_(i, j));
+        }
+    }
 }
 
 ThermalResult
@@ -120,7 +136,18 @@ ThermalModel::solve(const std::vector<double> &corePowerW,
         rhs[numCores_ + l] = l2PowerW[l];
     rhs[n - 1] = params_.ambientC / params_.sinkToAmbientR;
 
-    const std::vector<double> temps = solveCG(conductance_, rhs, 1e-12);
+    const std::vector<double> temps = choleskySolve(factor_, rhs);
+
+#ifndef NDEBUG
+    // First call: the direct solve must agree with the iterative CG
+    // path it replaced.
+    std::call_once(*selfCheck_, [&]() {
+        const std::vector<double> cg = solveCG(conductance_, rhs, 1e-12);
+        for (std::size_t i = 0; i < n; ++i)
+            assert(std::abs(temps[i] - cg[i]) <
+                   1e-9 * std::max(1.0, std::abs(cg[i])));
+    });
+#endif
 
     ThermalResult result;
     result.coreTempC.assign(temps.begin(),
@@ -174,9 +201,9 @@ ThermalModel::transientStep(ThermalResult &state,
     std::vector<double> next(n);
     for (std::size_t s = 0; s < steps; ++s) {
         for (std::size_t i = 0; i < n; ++i) {
-            double flow = power[i];
-            for (std::size_t j = 0; j < n; ++j)
-                flow -= conductance_(i, j) * temps[j];
+            double flow = power[i] - conductance_(i, i) * temps[i];
+            for (const auto &[j, g] : neighbors_[i])
+                flow -= g * temps[j];
             next[i] = temps[i] + h * flow / capacity_[i];
         }
         temps.swap(next);

@@ -16,6 +16,8 @@
 #define VARSCHED_THERMAL_THERMAL_HH
 
 #include <cstddef>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "floorplan/floorplan.hh"
@@ -105,7 +107,23 @@ class ThermalModel
     std::size_t numL2_;
     ThermalParams params_;
     Matrix conductance_; ///< (numBlocks+2)^2 system matrix.
+    Matrix factor_;      ///< Cholesky factor of conductance_ (fixed).
     std::vector<double> capacity_; ///< Per-node thermal mass, J/K.
+
+    /**
+     * Per-node nonzero off-diagonal conductances, (neighbour, g)
+     * pairs. The RC network is sparse (each block touches a handful
+     * of neighbours plus the spreader), so the transient stepper
+     * walks these lists instead of a dense O(n²) row product.
+     */
+    std::vector<std::vector<std::pair<std::size_t, double>>> neighbors_;
+
+    /// Debug builds cross-check the cached factor against solveCG on
+    /// the first solve() call (self-checking refactor). Unconditional
+    /// member so the class layout does not depend on NDEBUG; behind a
+    /// unique_ptr because std::once_flag would delete the move ctor.
+    mutable std::unique_ptr<std::once_flag> selfCheck_ =
+        std::make_unique<std::once_flag>();
 };
 
 } // namespace varsched

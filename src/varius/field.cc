@@ -5,6 +5,9 @@
 #include <cmath>
 #include <complex>
 #include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
 
 #include "solver/fft.hh"
 #include "solver/matrix.hh"
@@ -94,10 +97,31 @@ FieldSample::stddev() const
 namespace
 {
 
-/** Exact generation through dense Cholesky of the grid covariance. */
-FieldSample
-generateCholesky(std::size_t n, double phi, Rng &rng)
+/**
+ * Cache of grid-covariance Cholesky factors keyed by (n, phi). The
+ * covariance depends only on the grid geometry and the correlation
+ * range — every die of a batch shares it — so a 200-die batch factors
+ * the O(n³)-in-grid-points matrix exactly once instead of 200 times.
+ * Guarded by a mutex: the parallel batch runner manufactures dies
+ * concurrently. Entries are shared_ptr so a clearFieldFactorCache()
+ * cannot pull the factor out from under a die mid-generation.
+ */
+std::mutex factorCacheMutex;
+std::map<std::pair<std::size_t, double>,
+         std::shared_ptr<const Matrix>> factorCache;
+
+/** Factor for the (n, phi) grid covariance, computed or cached. */
+std::shared_ptr<const Matrix>
+gridCovarianceFactor(std::size_t n, double phi)
 {
+    const std::pair<std::size_t, double> key{n, phi};
+    {
+        std::lock_guard<std::mutex> lock(factorCacheMutex);
+        const auto it = factorCache.find(key);
+        if (it != factorCache.end())
+            return it->second;
+    }
+
     const std::size_t total = n * n;
     const double step = n > 1 ? 1.0 / static_cast<double>(n - 1) : 1.0;
 
@@ -115,15 +139,27 @@ generateCholesky(std::size_t n, double phi, Rng &rng)
         }
     }
 
-    Matrix l;
-    const bool ok = cholesky(cov, l);
+    auto l = std::make_shared<Matrix>();
+    const bool ok = cholesky(cov, *l);
     assert(ok);
     (void)ok;
 
-    std::vector<double> z(total);
+    std::lock_guard<std::mutex> lock(factorCacheMutex);
+    // Two threads may have raced to factor the same key; keep the
+    // first insertion so every caller sees one factor.
+    return factorCache.emplace(key, std::move(l)).first->second;
+}
+
+/** Exact generation through dense Cholesky of the grid covariance. */
+FieldSample
+generateCholesky(std::size_t n, double phi, Rng &rng)
+{
+    const std::shared_ptr<const Matrix> l = gridCovarianceFactor(n, phi);
+
+    std::vector<double> z(n * n);
     for (auto &v : z)
         v = rng.normal();
-    return FieldSample(n, lowerMultiply(l, z));
+    return FieldSample(n, lowerMultiply(*l, z));
 }
 
 /**
@@ -183,6 +219,20 @@ generateCirculant(std::size_t n, double phi, Rng &rng)
 }
 
 } // namespace
+
+void
+clearFieldFactorCache()
+{
+    std::lock_guard<std::mutex> lock(factorCacheMutex);
+    factorCache.clear();
+}
+
+std::size_t
+fieldFactorCacheSize()
+{
+    std::lock_guard<std::mutex> lock(factorCacheMutex);
+    return factorCache.size();
+}
 
 FieldSample
 generateField(std::size_t n, double phi, Rng &rng, FieldMethod method)

@@ -85,6 +85,17 @@ enum class FieldMethod { Cholesky, CirculantFFT };
 FieldSample generateField(std::size_t n, double phi, Rng &rng,
                           FieldMethod method = FieldMethod::CirculantFFT);
 
+/**
+ * The Cholesky back-end caches grid-covariance factors keyed by
+ * (n, phi): the covariance is die-independent, so a 200-die batch
+ * factors once. The cache is thread-safe and only ever holds a few
+ * distinct grid geometries; these hooks exist for tests and for
+ * long-lived processes that sweep many (n, phi) pairs.
+ */
+void clearFieldFactorCache();
+/** Number of (n, phi) factors currently cached. */
+std::size_t fieldFactorCacheSize();
+
 } // namespace varsched
 
 #endif // VARSCHED_VARIUS_FIELD_HH

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Schema validator for BENCH_PR2.json, the per-bench perf-trajectory
+ * record the bench binaries emit (see bench/common.hh). Used by the
+ * bench_smoke CTest label: after every bench has run at tiny batch
+ * sizes, this tool checks the merged file so a malformed emitter
+ * fails CI instead of silently corrupting the perf history.
+ *
+ * Expected shape: a JSON array, one object per line, each with
+ *   bench          non-empty string
+ *   threads        integer >= 1
+ *   parallel_s     number >= 0
+ *   serial_s       number >= 0, or null when not measured
+ *   speedup        number > 0, or null when not measured
+ *   cg_free_thermal  true
+ *
+ * Exit 0 when every entry conforms (and at least one exists).
+ */
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace
+{
+
+/** Value of "key" in a one-line JSON object; empty when absent. */
+std::string
+rawValue(const std::string &object, const std::string &key)
+{
+    const std::string needle = "\"" + key + "\":";
+    const std::size_t at = object.find(needle);
+    if (at == std::string::npos)
+        return "";
+    std::size_t from = at + needle.size();
+    while (from < object.size() && std::isspace(
+               static_cast<unsigned char>(object[from])))
+        ++from;
+    std::size_t to = from;
+    if (to < object.size() && object[to] == '"') {
+        to = object.find('"', to + 1);
+        if (to == std::string::npos)
+            return "";
+        ++to;
+    } else {
+        while (to < object.size() && object[to] != ',' &&
+               object[to] != '}')
+            ++to;
+        while (to > from && std::isspace(
+                   static_cast<unsigned char>(object[to - 1])))
+            --to;
+    }
+    return object.substr(from, to - from);
+}
+
+bool
+isNumber(const std::string &s, bool allowNull, bool requireNonNegative)
+{
+    if (allowNull && s == "null")
+        return true;
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (end == nullptr || *end != '\0')
+        return false;
+    return !requireNonNegative || v >= 0.0;
+}
+
+bool
+fail(std::size_t entry, const char *what)
+{
+    std::fprintf(stderr, "BENCH_PR2.json entry %zu: %s\n", entry, what);
+    return false;
+}
+
+bool
+validateEntry(std::size_t index, const std::string &object,
+              std::set<std::string> &seen)
+{
+    const std::string bench = rawValue(object, "bench");
+    if (bench.size() < 3 || bench.front() != '"' || bench.back() != '"')
+        return fail(index, "missing or malformed \"bench\"");
+    if (!seen.insert(bench).second)
+        return fail(index, "duplicate bench name");
+
+    const std::string threads = rawValue(object, "threads");
+    char *end = nullptr;
+    const long t = std::strtol(threads.c_str(), &end, 10);
+    if (threads.empty() || end == nullptr || *end != '\0' || t < 1)
+        return fail(index, "\"threads\" must be an integer >= 1");
+
+    if (!isNumber(rawValue(object, "parallel_s"), false, true))
+        return fail(index, "\"parallel_s\" must be a number >= 0");
+    if (!isNumber(rawValue(object, "serial_s"), true, true))
+        return fail(index, "\"serial_s\" must be a number >= 0 or null");
+    if (!isNumber(rawValue(object, "speedup"), true, true))
+        return fail(index, "\"speedup\" must be a number or null");
+
+    // serial_s and speedup must be measured together.
+    const bool haveSerial = rawValue(object, "serial_s") != "null";
+    const bool haveSpeedup = rawValue(object, "speedup") != "null";
+    if (haveSerial != haveSpeedup)
+        return fail(index, "serial_s and speedup must both be set "
+                           "or both null");
+
+    if (rawValue(object, "cg_free_thermal") != "true")
+        return fail(index, "\"cg_free_thermal\" must be true");
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *path = argc > 1 ? argv[1] : "BENCH_PR2.json";
+    std::FILE *in = std::fopen(path, "r");
+    if (in == nullptr) {
+        std::fprintf(stderr, "cannot open %s\n", path);
+        return 1;
+    }
+
+    std::vector<std::string> objects;
+    bool sawOpen = false, sawClose = false;
+    char line[2048];
+    while (std::fgets(line, sizeof line, in)) {
+        std::string s(line);
+        while (!s.empty() && std::isspace(
+                   static_cast<unsigned char>(s.back())))
+            s.pop_back();
+        std::size_t from = 0;
+        while (from < s.size() && std::isspace(
+                   static_cast<unsigned char>(s[from])))
+            ++from;
+        s = s.substr(from);
+        if (s.empty())
+            continue;
+        if (s == "[") {
+            sawOpen = true;
+            continue;
+        }
+        if (s == "]") {
+            sawClose = true;
+            continue;
+        }
+        if (!s.empty() && s.back() == ',')
+            s.pop_back();
+        if (s.empty() || s.front() != '{' || s.back() != '}') {
+            std::fprintf(stderr, "unparseable line: %s\n", line);
+            std::fclose(in);
+            return 1;
+        }
+        objects.push_back(s);
+    }
+    std::fclose(in);
+
+    if (!sawOpen || !sawClose) {
+        std::fprintf(stderr, "%s is not a JSON array\n", path);
+        return 1;
+    }
+    if (objects.empty()) {
+        std::fprintf(stderr, "%s has no bench entries\n", path);
+        return 1;
+    }
+
+    std::set<std::string> seen;
+    for (std::size_t i = 0; i < objects.size(); ++i) {
+        if (!validateEntry(i, objects[i], seen))
+            return 1;
+    }
+    std::printf("%s: %zu bench entr%s valid\n", path, objects.size(),
+                objects.size() == 1 ? "y" : "ies");
+    return 0;
+}

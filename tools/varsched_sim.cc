@@ -34,6 +34,7 @@ struct Options
     std::size_t dies = 10;
     std::size_t trials = 5;
     std::size_t threads = 20;
+    std::size_t jobs = 0; // 0 = VARSCHED_THREADS / hardware
     SchedAlgo sched = SchedAlgo::VarFAppIPC;
     PmKind pm = PmKind::LinOpt;
     PmObjective objective = PmObjective::Throughput;
@@ -62,6 +63,10 @@ usage()
         "  --trials N          workload trials per die (default 5)\n"
         "  --threads N         threads per workload, <= 20 (default "
         "20)\n"
+        "  --jobs N            worker threads for the batch runner\n"
+        "                      (default: VARSCHED_THREADS env, else\n"
+        "                      hardware concurrency; results are\n"
+        "                      bit-identical at any setting)\n"
         "  --sched NAME        random | varp | varp-appp | varf |\n"
         "                      varf-appipc | thermal (default "
         "varf-appipc)\n"
@@ -144,6 +149,9 @@ parseArgs(int argc, char **argv, Options &opt)
         } else if (arg == "--threads") {
             if (!(value = needValue(i))) return false;
             opt.threads = std::strtoul(value, nullptr, 10);
+        } else if (arg == "--jobs") {
+            if (!(value = needValue(i))) return false;
+            opt.jobs = std::strtoul(value, nullptr, 10);
         } else if (arg == "--sched") {
             if (!(value = needValue(i))) return false;
             if (!parseSched(value, opt.sched)) {
@@ -281,6 +289,7 @@ main(int argc, char **argv)
     batch.numDies = opt.dies;
     batch.numTrials = opt.trials;
     batch.seed = opt.seed;
+    batch.workerThreads = opt.jobs;
     batch.dieParams.variation.vthSigmaOverMu = opt.sigma;
     batch.dieParams.variation.d2dSigmaOverMu = opt.d2d;
     batch.dieParams.abbStrength = opt.abb;
@@ -327,12 +336,10 @@ main(int argc, char **argv)
         std::fprintf(csv,
                      "die,trial,mips,weighted,power_w,freq_hz,ed2,"
                      "deviation,worst_aging,lifetime_years\n");
-        Rng dieSeeder(batch.seed);
         for (std::size_t d = 0; d < batch.numDies; ++d) {
-            const Die die(batch.dieParams, dieSeeder.next());
-            Rng trialSeeder = Rng(batch.seed).fork(7000 + d);
+            const Die die(batch.dieParams, dieSeedFor(batch, d));
             for (std::size_t t = 0; t < batch.numTrials; ++t) {
-                Rng workloadRng = trialSeeder.fork(t);
+                Rng workloadRng = workloadRngFor(batch, d, t);
                 const auto apps =
                     randomWorkload(opt.threads, workloadRng);
                 SystemConfig config = makeConfig(opt);
