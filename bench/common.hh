@@ -9,10 +9,14 @@
  *
  * Every bench owns a PerfRecorder, which times its runBatch() calls
  * (or, for benches that do not run batches, the whole binary) and
- * merges a per-bench entry into BENCH_PR2.json — the repo's
- * perf-trajectory record. With VARSCHED_BENCH_COMPARE=1 each batch is
- * re-run serially to measure the speedup and to verify that the
- * parallel runner's metrics are bit-identical to the serial path.
+ * merges a per-bench entry into BENCH_PR3.json — the repo's
+ * perf-trajectory record — under an advisory file lock, so benches
+ * running concurrently (ctest -j) cannot drop each other's entries.
+ * Entries carry the per-phase wall-clock breakdown (physics /
+ * power-manager / scheduler seconds) reported by the runs. With
+ * VARSCHED_BENCH_COMPARE=1 each batch is re-run serially to measure
+ * the speedup and to verify that the parallel runner's metrics are
+ * bit-identical to the serial path.
  */
 
 #ifndef VARSCHED_BENCH_COMMON_HH
@@ -21,7 +25,9 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fcntl.h>
 #include <string>
+#include <sys/file.h>
 #include <unistd.h>
 #include <vector>
 
@@ -117,7 +123,7 @@ identicalBatchResult(const BatchResult &a, const BatchResult &b)
 
 /**
  * Per-bench wall-clock recorder. Times every batch routed through
- * run() and merges one entry into BENCH_PR2.json (path override:
+ * run() and merges one entry into BENCH_PR3.json (path override:
  * VARSCHED_BENCH_JSON) at destruction. Benches without batches
  * record their whole lifetime instead.
  */
@@ -145,6 +151,9 @@ class PerfRecorder
         BatchResult result = runBatch(batch, numThreads, configs);
         parallelSec_ += nowSeconds() - t0;
         ranBatch_ = true;
+        physicsSec_ += result.physicsSec;
+        pmSec_ += result.pmSec;
+        schedSec_ += result.schedSec;
 
         if (compare_) {
             BatchConfig serial = batch;
@@ -177,14 +186,16 @@ class PerfRecorder
             std::snprintf(serial, sizeof serial, "null");
             std::snprintf(speedup, sizeof speedup, "null");
         }
-        char entry[512];
+        char entry[768];
         std::snprintf(
             entry, sizeof entry,
             "{\"bench\": \"%s\", \"threads\": %zu, "
             "\"parallel_s\": %.6f, \"serial_s\": %s, "
-            "\"speedup\": %s, \"cg_free_thermal\": true}",
+            "\"speedup\": %s, \"physics_s\": %.6f, "
+            "\"pm_s\": %.6f, \"sched_s\": %.6f, "
+            "\"cg_free_thermal\": true}",
             name_.c_str(), configuredThreads(), parallel, serial,
-            speedup);
+            speedup, physicsSec_, pmSec_, schedSec_);
         mergeJson(entry);
     }
 
@@ -192,13 +203,26 @@ class PerfRecorder
     /**
      * Merge this bench's entry into the JSON file: read the existing
      * array (one entry per line, a format we control), drop any stale
-     * entry for this bench, append ours, rewrite atomically.
+     * entry for this bench, append ours, rewrite via temp-then-rename.
+     * The whole read-modify-write runs under an exclusive flock on a
+     * sidecar `<path>.lock` file — locking the data file itself would
+     * be useless, since rename() replaces it and a later writer would
+     * lock the orphaned inode. Without the lock, benches running
+     * concurrently (ctest -j, parallel make targets) interleave their
+     * read and rename steps and silently drop each other's entries —
+     * exactly how BENCH_PR2.json ended up with 1 of 24 benches.
      */
     void
     mergeJson(const std::string &entry) const
     {
         const char *env = std::getenv("VARSCHED_BENCH_JSON");
-        const std::string path = env ? env : "BENCH_PR2.json";
+        const std::string path = env ? env : "BENCH_PR3.json";
+
+        const std::string lockPath = path + ".lock";
+        const int lockFd =
+            ::open(lockPath.c_str(), O_CREAT | O_RDWR, 0644);
+        if (lockFd >= 0)
+            ::flock(lockFd, LOCK_EX); // blocks until the peer is done
 
         std::vector<std::string> kept;
         if (std::FILE *in = std::fopen(path.c_str(), "r")) {
@@ -224,16 +248,17 @@ class PerfRecorder
 
         const std::string tmp =
             path + ".tmp." + std::to_string(::getpid());
-        std::FILE *out = std::fopen(tmp.c_str(), "w");
-        if (out == nullptr)
-            return;
-        std::fprintf(out, "[\n");
-        for (std::size_t i = 0; i < kept.size(); ++i)
-            std::fprintf(out, "  %s%s\n", kept[i].c_str(),
-                         i + 1 < kept.size() ? "," : "");
-        std::fprintf(out, "]\n");
-        std::fclose(out);
-        std::rename(tmp.c_str(), path.c_str());
+        if (std::FILE *out = std::fopen(tmp.c_str(), "w")) {
+            std::fprintf(out, "[\n");
+            for (std::size_t i = 0; i < kept.size(); ++i)
+                std::fprintf(out, "  %s%s\n", kept[i].c_str(),
+                             i + 1 < kept.size() ? "," : "");
+            std::fprintf(out, "]\n");
+            std::fclose(out);
+            std::rename(tmp.c_str(), path.c_str());
+        }
+        if (lockFd >= 0)
+            ::close(lockFd); // releases the flock
     }
 
     std::string name_;
@@ -243,6 +268,10 @@ class PerfRecorder
     bool haveSerial_ = false;
     double parallelSec_ = 0.0;
     double serialSec_ = 0.0;
+    // Phase breakdown summed from the primary (parallel) runs.
+    double physicsSec_ = 0.0;
+    double pmSec_ = 0.0;
+    double schedSec_ = 0.0;
 };
 
 } // namespace varsched::bench

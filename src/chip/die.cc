@@ -80,6 +80,13 @@ Die::Die(const DieParams &params, std::uint64_t dieSeed)
         }
     }
 
+    // Sample the systematic Vth field at every core's leakage
+    // integration points once; the tick loop queries leakage millions
+    // of times per run and folds these instead of re-interpolating.
+    vthSamples_.reserve(numCores());
+    for (std::size_t c = 0; c < numCores(); ++c)
+        vthSamples_.push_back(leakModel_.sampleCoreVth(map_, plan_, c));
+
     // Bin the (voltage, frequency) table at the binning temperature
     // and quantise down to the frequency step (a core is never clocked
     // above what it sustains when hot).
@@ -94,9 +101,9 @@ Die::Die(const DieParams &params, std::uint64_t dieSeed)
                 timing_[c].fmax(v, params_.critPath.binTempC);
             freqTable_[c][l] =
                 std::floor(raw / params_.freqStepHz) * params_.freqStepHz;
-            staticTable_[c][l] = leakModel_.corePower(
-                map_, plan_, c, v, params_.leakage.refTempC,
-                vthBias_[c]);
+            staticTable_[c][l] = leakModel_.corePowerSampled(
+                vthSamples_[c], map_.vthSigmaRandom(), v,
+                params_.leakage.refTempC, vthBias_[c]);
         }
     }
 }
@@ -113,8 +120,9 @@ Die::uniformFreq() const
 double
 Die::leakagePower(std::size_t core, double v, double tempC) const
 {
-    return leakModel_.corePower(map_, plan_, core, v, tempC,
-                                vthBias_[core]);
+    return leakModel_.corePowerSampled(vthSamples_[core],
+                                       map_.vthSigmaRandom(), v, tempC,
+                                       vthBias_[core]);
 }
 
 double

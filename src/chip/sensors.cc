@@ -20,35 +20,81 @@ ChipEvaluator::ipcOf(const AppProfile &app, const CoreWork &work,
     return cpi > 0.0 ? 1.0 / cpi : 0.0;
 }
 
+const ActivityVector &
+ChipEvaluator::calibratedActivity(const AppProfile &app) const
+{
+    for (std::size_t i = 0; i < actKeys_.size(); ++i) {
+        if (actKeys_[i].first == &app &&
+            actKeys_[i].second == app.dynPowerW)
+            return actVals_[i];
+    }
+    actKeys_.emplace_back(&app, app.dynPowerW);
+    actVals_.push_back(die_->dynamicModel().calibrateActivity(
+        app.activityShape, app.dynPowerW));
+    return actVals_.back();
+}
+
 double
 ChipEvaluator::dynamicPower(const CoreWork &work, double v, double f) const
 {
     assert(work.app != nullptr);
-    const auto act = die_->dynamicModel().calibrateActivity(
-        work.app->activityShape, work.app->dynPowerW);
-    return die_->dynamicModel().corePower(act, v, f) *
+    return die_->dynamicModel().corePower(calibratedActivity(*work.app),
+                                          v, f) *
         work.activityScale;
 }
 
 ChipCondition
 ChipEvaluator::evaluate(const std::vector<CoreWork> &work,
                         const std::vector<int> &levels,
-                        double freqCapHz) const
+                        double freqCapHz,
+                        const ChipCondition *warmStart) const
+{
+    ChipCondition cond;
+    evaluateInto(cond, work, levels, freqCapHz, warmStart);
+    return cond;
+}
+
+void
+ChipEvaluator::evaluateInto(ChipCondition &out,
+                            const std::vector<CoreWork> &work,
+                            const std::vector<int> &levels,
+                            double freqCapHz,
+                            const ChipCondition *warmStart) const
 {
     const std::size_t n = die_->numCores();
     assert(work.size() == n && levels.size() == n);
 
-    ChipCondition cond;
-    cond.corePowerW.assign(n, 0.0);
-    cond.coreTempC.assign(n, die_->params().thermal.ambientC);
-    cond.coreFreqHz.assign(n, 0.0);
-    cond.coreIpc.assign(n, 0.0);
-    cond.coreMips.assign(n, 0.0);
+    // Seed the fixed point before touching `out` — warmStart may
+    // alias it. A warm seed starts the iteration from the previous
+    // settled temperatures; the cold seed is the leakage reference.
+    std::vector<double> &coreTemps = coreTempScratch_;
+    std::vector<double> &l2Temps = l2TempScratch_;
+    bool warmSeeded = false;
+    if (warmStart != nullptr && warmStart->coreTempC.size() == n &&
+        warmStart->l2TempC.size() == 2) {
+        coreTemps.assign(warmStart->coreTempC.begin(),
+                         warmStart->coreTempC.end());
+        l2Temps.assign(warmStart->l2TempC.begin(),
+                       warmStart->l2TempC.end());
+        warmSeeded = true;
+    } else {
+        coreTemps.assign(n, die_->params().leakage.refTempC);
+        l2Temps.assign(2, die_->params().leakage.refTempC);
+    }
+
+    out.corePowerW.assign(n, 0.0);
+    out.coreTempC.assign(n, die_->params().thermal.ambientC);
+    out.coreFreqHz.assign(n, 0.0);
+    out.coreIpc.assign(n, 0.0);
+    out.coreMips.assign(n, 0.0);
+    out.totalPowerW = 0.0;
+    out.totalMips = 0.0;
 
     // Frequency, IPC, and dynamic power are temperature-independent
     // in the model (frequency was binned hot); only leakage couples
     // to temperature, so the fixed point iterates leakage <-> thermal.
-    std::vector<double> dynW(n, 0.0);
+    std::vector<double> &dynW = dynWScratch_;
+    dynW.assign(n, 0.0);
     double l2AccessesPerSec = 0.0;
     for (std::size_t c = 0; c < n; ++c) {
         if (work[c].app == nullptr)
@@ -58,21 +104,21 @@ ChipEvaluator::evaluate(const std::vector<CoreWork> &work,
         double f = die_->freqAt(c, level);
         if (freqCapHz > 0.0)
             f = std::min(f, freqCapHz);
-        cond.coreFreqHz[c] = f;
-        cond.coreIpc[c] = ipcOf(*work[c].app, work[c], f);
-        cond.coreMips[c] = cond.coreIpc[c] * f / 1.0e6;
+        out.coreFreqHz[c] = f;
+        out.coreIpc[c] = ipcOf(*work[c].app, work[c], f);
+        out.coreMips[c] = out.coreIpc[c] * f / 1.0e6;
         dynW[c] = dynamicPower(work[c], v, f);
         l2AccessesPerSec += work[c].app->l2Mpi * work[c].missScale *
-            cond.coreIpc[c] * f;
+            out.coreIpc[c] * f;
     }
     const double l2DynW =
         die_->dynamicModel().l2Power(l2AccessesPerSec);
 
     // Leakage-temperature fixed point (Su et al.).
-    std::vector<double> corePowers(n, 0.0);
-    std::vector<double> l2Powers(2, 0.0);
-    std::vector<double> l2Temps(2, die_->params().leakage.refTempC);
-    std::vector<double> coreTemps(n, die_->params().leakage.refTempC);
+    std::vector<double> &corePowers = corePowerScratch_;
+    std::vector<double> &l2Powers = l2PowerScratch_;
+    corePowers.assign(n, 0.0);
+    l2Powers.assign(2, 0.0);
     double spreaderC = die_->params().thermal.ambientC;
     double sinkC = die_->params().thermal.ambientC;
 
@@ -120,22 +166,28 @@ ChipEvaluator::evaluate(const std::vector<CoreWork> &work,
             maxDelta = std::max(maxDelta, std::abs(next - l2Temps[b]));
             l2Temps[b] = next;
         }
-        if (maxDelta < 0.05)
+        // A cold start approaches the fixed point from the reference
+        // temperature side; a warm seed can approach from the other
+        // side (e.g. hot previous operating point), so stopping at the
+        // same threshold would leave twice the gap between the two
+        // answers. The tighter warm threshold (one or two extra
+        // iterations, still far below the ~25 cold ones) keeps warm
+        // results within 0.1 C / 0.1% power of the cold fixed point.
+        if (maxDelta < (warmSeeded ? 0.01 : 0.05))
             break;
     }
 
-    cond.corePowerW = corePowers;
-    cond.coreTempC = coreTemps;
-    cond.l2TempC = l2Temps;
-    cond.spreaderC = spreaderC;
-    cond.sinkC = sinkC;
-    cond.l2PowerW = l2Powers[0] + l2Powers[1];
-    cond.totalPowerW = cond.l2PowerW;
+    out.corePowerW = corePowers;
+    out.coreTempC = coreTemps;
+    out.l2TempC = l2Temps;
+    out.spreaderC = spreaderC;
+    out.sinkC = sinkC;
+    out.l2PowerW = l2Powers[0] + l2Powers[1];
+    out.totalPowerW = out.l2PowerW;
     for (std::size_t c = 0; c < n; ++c) {
-        cond.totalPowerW += corePowers[c];
-        cond.totalMips += cond.coreMips[c];
+        out.totalPowerW += corePowers[c];
+        out.totalMips += out.coreMips[c];
     }
-    return cond;
 }
 
 ChipCondition

@@ -59,7 +59,15 @@ struct ChipCondition
     double sinkC = 0.0;             ///< Heat-sink temperature.
 };
 
-/** Physics evaluator bound to one die. */
+/**
+ * Physics evaluator bound to one die.
+ *
+ * Evaluation reuses internal scratch buffers and memoises the
+ * per-application activity calibration, so one evaluator instance
+ * must not be shared between concurrently-running threads (each
+ * SystemSimulator owns its own; the batch runner gives every
+ * (die, trial) tuple a private simulator).
+ */
 class ChipEvaluator
 {
   public:
@@ -73,10 +81,33 @@ class ChipEvaluator
      * @param freqCapHz When positive, clamp every core's clock to
      *        this frequency — the UniFreq configurations, where all
      *        cores run at the slowest core's maximum.
+     * @param warmStart Optional previous settled condition whose
+     *        temperatures seed the leakage-temperature fixed point
+     *        instead of the cold refTempC start. The iteration
+     *        converges to the same fixed point within its 0.05 C
+     *        tolerance in a fraction of the iterations (typically
+     *        2-3 instead of ~25 when the operating point barely
+     *        moved). Pass nullptr for the cold, bit-reproducible
+     *        pre-warm-start behaviour.
      */
     ChipCondition evaluate(const std::vector<CoreWork> &work,
                            const std::vector<int> &levels,
-                           double freqCapHz = 0.0) const;
+                           double freqCapHz = 0.0,
+                           const ChipCondition *warmStart
+                           = nullptr) const;
+
+    /**
+     * Allocation-free variant of evaluate(): settles the chip into
+     * @p out, reusing its vectors' capacity. @p warmStart may alias
+     * @p out (the seed temperatures are copied out first), which is
+     * how the tick loop warm-starts each solve from the previous
+     * one in place.
+     */
+    void evaluateInto(ChipCondition &out,
+                      const std::vector<CoreWork> &work,
+                      const std::vector<int> &levels,
+                      double freqCapHz = 0.0,
+                      const ChipCondition *warmStart = nullptr) const;
 
     /**
      * Transient variant: instead of settling the leakage-temperature
@@ -105,7 +136,25 @@ class ChipEvaluator
     const Die &die() const { return *die_; }
 
   private:
+    /**
+     * Memoised calibrateActivity(app.activityShape, app.dynPowerW) —
+     * a pure function of the profile, but previously recomputed per
+     * core per tick and per (core, level) in every buildSnapshot.
+     * Keyed on the profile's address and dynPowerW (profiles are
+     * immutable for the lifetime of a run).
+     */
+    const ActivityVector &calibratedActivity(const AppProfile &app) const;
+
     const Die *die_;
+
+    // Scratch reused across evaluate() calls (see class comment).
+    mutable std::vector<double> dynWScratch_;
+    mutable std::vector<double> corePowerScratch_;
+    mutable std::vector<double> l2PowerScratch_;
+    mutable std::vector<double> coreTempScratch_;
+    mutable std::vector<double> l2TempScratch_;
+    mutable std::vector<std::pair<const AppProfile *, double>> actKeys_;
+    mutable std::vector<ActivityVector> actVals_;
 };
 
 /** Per-(thread, core) slice of the sensor/profile snapshot. */

@@ -31,13 +31,50 @@ ExhaustiveManager::selectLevels(const ChipSnapshot &snap)
     std::vector<int> best(n, 0);
     double bestMips = -1.0;
 
+    // Per-(core, level) tables, flattened [core * numLevels + level]:
+    // power draw, objective contribution, and whether the level busts
+    // the per-core cap. Scoring a state then never touches the
+    // snapshot again.
+    const auto L = static_cast<std::size_t>(numLevels);
+    const bool weighted = objective_ == PmObjective::Weighted;
+    std::vector<double> powTab(n * L), objTab(n * L);
+    std::vector<char> violTab(n * L);
+    for (std::size_t i = 0; i < n; ++i) {
+        const CoreSnapshot &c = snap.cores[i];
+        for (std::size_t l = 0; l < L; ++l) {
+            const double cp = c.powerW[l];
+            powTab[i * L + l] = cp;
+            objTab[i * L + l] = weighted
+                ? c.ipc[l] * c.freqHz[l] / 1.0e6 / c.refMips
+                : c.ipc[l] * c.freqHz[l] / 1.0e6;
+            violTab[i * L + l] = cp > snap.pcoreMaxW + 1e-9 ? 1 : 0;
+        }
+    }
+
+    // Suffix folds over cores i..n-1 at the current state: the
+    // odometer increments position `pos` after resetting everything
+    // below it, so only suffixes 0..pos need refolding — position pos
+    // rolls over with probability numLevels^-pos, making the per-state
+    // rescore O(1) amortised instead of O(n). The folds are a pure
+    // function of the state (descending-index summation), so no
+    // floating-point drift accumulates across the enumeration.
+    std::vector<double> sufPow(n + 1, 0.0), sufObj(n + 1, 0.0);
+    std::vector<int> sufViol(n + 1, 0);
+    const auto refold = [&](std::size_t i) {
+        const std::size_t k =
+            i * L + static_cast<std::size_t>(state[i]);
+        sufPow[i] = powTab[k] + sufPow[i + 1];
+        sufObj[i] = objTab[k] + sufObj[i + 1];
+        sufViol[i] = violTab[k] + sufViol[i + 1];
+    };
+    for (std::size_t i = n; i-- > 0;)
+        refold(i);
+
     for (;;) {
         ++lastStates_;
-        if (snap.feasible(state)) {
-            const double mips =
-                objective_ == PmObjective::Weighted
-                ? snap.weightedAt(state)
-                : snap.mipsAt(state);
+        if (sufViol[0] == 0 &&
+            snap.uncorePowerW + sufPow[0] <= snap.ptargetW + 1e-9) {
+            const double mips = sufObj[0];
             if (mips > bestMips) {
                 bestMips = mips;
                 best = state;
@@ -53,6 +90,8 @@ ExhaustiveManager::selectLevels(const ChipSnapshot &snap)
         }
         if (pos == n)
             break;
+        for (std::size_t i = pos + 1; i-- > 0;)
+            refold(i);
     }
 
     return bestMips >= 0.0 ? best : std::vector<int>(n, 0);

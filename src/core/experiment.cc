@@ -129,6 +129,9 @@ runBatch(const BatchConfig &batch, std::size_t numThreads,
             abs.deviation.add(runs[k].powerDeviation);
             abs.worstAging.add(runs[k].worstAgingRate);
             abs.lifetimeYears.add(runs[k].projectedLifetimeYears);
+            result.physicsSec += runs[k].physicsSec;
+            result.pmSec += runs[k].pmSec;
+            result.schedSec += runs[k].schedSec;
 
             auto &rel = result.relative[k];
             const SystemResult &base = runs[0];

@@ -103,6 +103,14 @@ struct BatchResult
 {
     std::vector<ConfigMetrics> absolute;
     std::vector<RelativeMetrics> relative;
+
+    // Wall-clock breakdown summed over every run in the batch
+    // (seconds of worker time, not elapsed time). Diagnostic only:
+    // excluded from bit-identity comparisons, since timing varies
+    // run to run.
+    double physicsSec = 0.0; ///< Chip-evaluation time.
+    double pmSec = 0.0;      ///< Power-manager time.
+    double schedSec = 0.0;   ///< Scheduler time.
 };
 
 /**

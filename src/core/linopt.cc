@@ -93,9 +93,15 @@ LinOptManager::selectLevels(const ChipSnapshot &snap)
         lp.addRow(row, vHigh - vLow);
     }
 
-    const LpResult result = solveSimplex(lp);
+    const LpResult result = solveSimplex(
+        lp,
+        config_.warmStart && warmBasis_.size() == lp.numRows()
+            ? &warmBasis_
+            : nullptr,
+        config_.warmStart ? &warmBasis_ : nullptr);
     diag_.status = result.status;
     diag_.pivots = result.pivots;
+    diag_.warmStarted = result.warmStarted;
 
     std::vector<int> levels(n, 0);
     if (result.status != LpResult::Status::Optimal) {

@@ -42,6 +42,15 @@ struct LinOptConfig
     bool greedyRefill = true;
     /** What to maximise (Fig 11: Throughput; Fig 13: Weighted). */
     PmObjective objective = PmObjective::Throughput;
+    /**
+     * Warm-start each solve from the previous DVFS interval's optimal
+     * simplex basis (successive LPs differ only in drifted sensor
+     * readings, so the old basis is usually optimal or one pivot
+     * away). Falls back to the cold two-phase solve whenever the old
+     * basis cannot be adopted; the solution is the same either way up
+     * to solver tolerances.
+     */
+    bool warmStart = true;
 };
 
 /** Diagnostics of the last LinOpt invocation (for Fig 15 / tests). */
@@ -51,6 +60,8 @@ struct LinOptDiag
     std::size_t pivots = 0;
     /** Continuous LP voltages before discretisation. */
     std::vector<double> continuousV;
+    /** True when this solve started from an adopted warm basis. */
+    bool warmStarted = false;
 };
 
 /** The LinOpt power manager. */
@@ -68,6 +79,13 @@ class LinOptManager : public PowerManager
   private:
     LinOptConfig config_;
     LinOptDiag diag_;
+    /**
+     * Optimal basis of the previous solve (empty before the first, or
+     * after a non-Optimal one). Only offered to the solver when its
+     * dimension matches the new LP — thread count changes invalidate
+     * it wholesale.
+     */
+    std::vector<std::size_t> warmBasis_;
 };
 
 } // namespace varsched

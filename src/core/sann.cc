@@ -11,6 +11,124 @@ SAnnManager::SAnnManager(const SAnnConfig &config) : config_(config)
 {
 }
 
+SnapshotAnnealEnergy::SnapshotAnnealEnergy(const ChipSnapshot &snap,
+                                           double penaltyPerWatt,
+                                           bool weighted)
+    : snap_(&snap), penalty_(penaltyPerWatt), weighted_(weighted)
+{
+}
+
+double
+SnapshotAnnealEnergy::energyOfSums() const
+{
+    const double obj = weighted_ ? objSum_ * 2000.0 : objSum_;
+    double e = -obj / 1000.0;
+    if (power_ > snap_->ptargetW)
+        e += (power_ - snap_->ptargetW) * penalty_;
+    e += capEx_ * penalty_;
+    return e;
+}
+
+void
+SnapshotAnnealEnergy::noteVisited()
+{
+    if (power_ > snap_->ptargetW || coreViol_ > 0)
+        return;
+    const double obj = weighted_ ? objSum_ * 2000.0 : objSum_;
+    if (obj > bestFeasibleObj_) {
+        bestFeasibleObj_ = obj;
+        bestFeasible_ = state_;
+    }
+}
+
+double
+SnapshotAnnealEnergy::fullEnergy(const std::vector<int> &state)
+{
+    state_ = state;
+    pending_.clear();
+    power_ = snap_->uncorePowerW;
+    objSum_ = 0.0;
+    capEx_ = 0.0;
+    coreViol_ = 0;
+    for (std::size_t i = 0; i < snap_->cores.size(); ++i) {
+        const CoreSnapshot &c = snap_->cores[i];
+        const auto l = static_cast<std::size_t>(state[i]);
+        const double cp = c.powerW[l];
+        power_ += cp;
+        objSum_ += weighted_
+            ? c.ipc[l] * c.freqHz[l] / 1.0e6 / c.refMips
+            : c.ipc[l] * c.freqHz[l] / 1.0e6;
+        if (cp > snap_->pcoreMaxW) {
+            capEx_ += cp - snap_->pcoreMaxW;
+            ++coreViol_;
+        }
+    }
+    noteVisited();
+    return energyOfSums();
+}
+
+double
+SnapshotAnnealEnergy::moveDelta(std::size_t coord, int oldLevel,
+                                int newLevel)
+{
+    if (pending_.empty()) {
+        power0_ = power_;
+        objSum0_ = objSum_;
+        capEx0_ = capEx_;
+        coreViol0_ = coreViol_;
+    }
+    const double before = energyOfSums();
+    const CoreSnapshot &c = snap_->cores[coord];
+    const auto lo = static_cast<std::size_t>(oldLevel);
+    const auto ln = static_cast<std::size_t>(newLevel);
+    const double pOld = c.powerW[lo];
+    const double pNew = c.powerW[ln];
+    power_ += pNew - pOld;
+    objSum_ += weighted_
+        ? (c.ipc[ln] * c.freqHz[ln] - c.ipc[lo] * c.freqHz[lo]) /
+              1.0e6 / c.refMips
+        : (c.ipc[ln] * c.freqHz[ln] - c.ipc[lo] * c.freqHz[lo]) /
+              1.0e6;
+    if (pOld > snap_->pcoreMaxW) {
+        capEx_ -= pOld - snap_->pcoreMaxW;
+        --coreViol_;
+    }
+    if (pNew > snap_->pcoreMaxW) {
+        capEx_ += pNew - snap_->pcoreMaxW;
+        ++coreViol_;
+    }
+    pending_.emplace_back(coord, oldLevel);
+    state_[coord] = newLevel;
+    return energyOfSums() - before;
+}
+
+void
+SnapshotAnnealEnergy::onCandidate(double candidateEnergy)
+{
+    (void)candidateEnergy;
+    noteVisited();
+}
+
+void
+SnapshotAnnealEnergy::commit()
+{
+    pending_.clear();
+}
+
+void
+SnapshotAnnealEnergy::discard()
+{
+    if (pending_.empty())
+        return;
+    for (auto it = pending_.rbegin(); it != pending_.rend(); ++it)
+        state_[it->first] = it->second;
+    pending_.clear();
+    power_ = power0_;
+    objSum_ = objSum0_;
+    capEx_ = capEx0_;
+    coreViol_ = coreViol0_;
+}
+
 std::vector<int>
 SAnnManager::selectLevels(const ChipSnapshot &snap)
 {
@@ -45,42 +163,16 @@ SAnnManager::selectLevels(const ChipSnapshot &snap)
 
     // Energy: -throughput (kMIPS) plus steep penalties for violating
     // the chip or per-core budgets, so infeasible states are passable
-    // but never optimal. The best *feasible* state visited is tracked
-    // on the side — the chain's lowest-energy state may carry a tiny
-    // violation, which a real controller cannot deploy.
-    std::vector<int> bestFeasible;
-    double bestFeasibleMips = -1.0;
-    // Weighted mode scores normalised progress; rescale it into the
-    // same numeric range as kMIPS so the annealing temperature and
-    // penalty weights keep their meaning.
-    const bool weighted = config_.objective == PmObjective::Weighted;
-    const auto objective = [&](const std::vector<int> &levels) {
-        return weighted ? snap.weightedAt(levels) * 2000.0
-                        : snap.mipsAt(levels);
-    };
-    const auto energy = [&](const std::vector<int> &levels) {
-        const double mips = objective(levels);
-        double e = -mips / 1000.0;
-        bool feasible = true;
-        const double power = snap.powerAt(levels);
-        if (power > snap.ptargetW) {
-            e += (power - snap.ptargetW) * config_.penaltyPerWatt;
-            feasible = false;
-        }
-        for (std::size_t i = 0; i < n; ++i) {
-            const double cp = snap.cores[i].powerW[
-                static_cast<std::size_t>(levels[i])];
-            if (cp > snap.pcoreMaxW) {
-                e += (cp - snap.pcoreMaxW) * config_.penaltyPerWatt;
-                feasible = false;
-            }
-        }
-        if (feasible && mips > bestFeasibleMips) {
-            bestFeasibleMips = mips;
-            bestFeasible = levels;
-        }
-        return e;
-    };
+    // but never optimal. The oracle keeps running sums so each move is
+    // scored in O(1), and tracks the best *feasible* state visited on
+    // the side — the chain's lowest-energy state may carry a tiny
+    // violation, which a real controller cannot deploy. Weighted mode
+    // scores normalised progress rescaled (x2000) into the same
+    // numeric range as kMIPS so the annealing temperature and penalty
+    // weights keep their meaning.
+    SnapshotAnnealEnergy energy(
+        snap, config_.penaltyPerWatt,
+        config_.objective == PmObjective::Weighted);
 
     AnnealOptions opts;
     opts.maxEvals = config_.maxEvals;
@@ -97,8 +189,8 @@ SAnnManager::selectLevels(const ChipSnapshot &snap)
         return result.best;
     // Chain optimum carries a violation: deploy the best feasible
     // state actually visited, or the greedy seed as a last resort.
-    if (!bestFeasible.empty())
-        return bestFeasible;
+    if (!energy.bestFeasible().empty())
+        return energy.bestFeasible();
     return initial;
 }
 

@@ -16,11 +16,78 @@
 #define VARSCHED_CORE_SANN_HH
 
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "core/pmalgo.hh"
+#include "solver/annealing.hh"
 
 namespace varsched
 {
+
+/**
+ * Incremental annealing-energy oracle over a ChipSnapshot: the SAnn
+ * energy (-objective in kMIPS plus steep per-watt penalties for chip-
+ * and per-core-budget violations) maintained as running sums — total
+ * power, objective, cap excess, and a per-core-violation count — so a
+ * single-core level move is scored in O(1). Also tracks the best
+ * *feasible* state visited, mirroring the side-tracking the legacy
+ * full-rescore lambda did, since the chain's lowest-energy state may
+ * carry a small violation a real controller cannot deploy.
+ *
+ * The snapshot must outlive the oracle. See AnnealEnergy for the call
+ * contract.
+ */
+class SnapshotAnnealEnergy : public AnnealEnergy
+{
+  public:
+    /**
+     * @param snap Snapshot to score against.
+     * @param penaltyPerWatt Violation penalty (kMIPS per watt).
+     * @param weighted Score weighted throughput (x2000, Fig 13)
+     *        instead of plain MIPS.
+     */
+    SnapshotAnnealEnergy(const ChipSnapshot &snap, double penaltyPerWatt,
+                         bool weighted);
+
+    double fullEnergy(const std::vector<int> &state) override;
+    double moveDelta(std::size_t coord, int oldLevel,
+                     int newLevel) override;
+    void onCandidate(double candidateEnergy) override;
+    void commit() override;
+    void discard() override;
+
+    /** Best feasible state seen (empty when none was visited). */
+    const std::vector<int> &bestFeasible() const { return bestFeasible_; }
+
+  private:
+    /** Energy of the current running sums. */
+    double energyOfSums() const;
+    /** Track the current (speculative) state for best-feasible. */
+    void noteVisited();
+
+    const ChipSnapshot *snap_;
+    double penalty_;
+    bool weighted_;
+
+    std::vector<int> state_; ///< Committed + pending levels.
+    /** (coord, oldLevel) of each pending move, in application order. */
+    std::vector<std::pair<std::size_t, int>> pending_;
+
+    // Running sums over state_.
+    double power_ = 0.0;  ///< Chip power incl. uncore, W.
+    double objSum_ = 0.0; ///< MIPS or weighted-progress sum.
+    double capEx_ = 0.0;  ///< Sum of per-core overage above Pcoremax.
+    int coreViol_ = 0;    ///< Cores strictly above Pcoremax.
+
+    // Snapshot of the sums at the start of the pending proposal, for
+    // exact rollback on discard().
+    double power0_ = 0.0, objSum0_ = 0.0, capEx0_ = 0.0;
+    int coreViol0_ = 0;
+
+    std::vector<int> bestFeasible_;
+    double bestFeasibleObj_ = -1.0;
+};
 
 /** SAnn tuning. */
 struct SAnnConfig

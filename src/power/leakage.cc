@@ -48,22 +48,16 @@ LeakageModel::subthresholdCoreEquivalent(double vth60, double v,
     return norm_ * v * tK * tK * std::exp(expArg(vth60, v, tempC));
 }
 
-double
-LeakageModel::corePower(const VariationMap &map, const Floorplan &plan,
-                        std::size_t coreId, double v, double tempC,
-                        double vthShift) const
+std::vector<double>
+LeakageModel::sampleCoreVth(const VariationMap &map, const Floorplan &plan,
+                            std::size_t coreId) const
 {
     const Rect &tile = plan.coreRect(coreId);
     const std::size_t n = params_.samplesPerEdge;
     assert(n >= 1);
 
-    // Analytic fold of the per-transistor random component:
-    // E[exp(dV/(n vT))] = exp(sigma^2 / (2 (n vT)^2)).
-    const double nvt = params_.slopeFactor * thermalVoltage(tempC);
-    const double sigma = map.vthSigmaRandom();
-    const double randomBoost = std::exp(sigma * sigma / (2.0 * nvt * nvt));
-
-    double sum = 0.0;
+    std::vector<double> samples;
+    samples.reserve(n * n);
     for (std::size_t i = 0; i < n; ++i) {
         for (std::size_t j = 0; j < n; ++j) {
             const double x = tile.x +
@@ -72,12 +66,37 @@ LeakageModel::corePower(const VariationMap &map, const Floorplan &plan,
             const double y = tile.y +
                 (static_cast<double>(j) + 0.5) / static_cast<double>(n) *
                     tile.h;
-            sum += subthresholdCoreEquivalent(
-                map.vthAt(x, y) + vthShift, v, tempC);
+            samples.push_back(map.vthAt(x, y));
         }
     }
+    return samples;
+}
+
+double
+LeakageModel::corePower(const VariationMap &map, const Floorplan &plan,
+                        std::size_t coreId, double v, double tempC,
+                        double vthShift) const
+{
+    return corePowerSampled(sampleCoreVth(map, plan, coreId),
+                            map.vthSigmaRandom(), v, tempC, vthShift);
+}
+
+double
+LeakageModel::corePowerSampled(const std::vector<double> &vthSamples,
+                               double sigmaRandom, double v, double tempC,
+                               double vthShift) const
+{
+    // Analytic fold of the per-transistor random component:
+    // E[exp(dV/(n vT))] = exp(sigma^2 / (2 (n vT)^2)).
+    const double nvt = params_.slopeFactor * thermalVoltage(tempC);
+    const double randomBoost =
+        std::exp(sigmaRandom * sigmaRandom / (2.0 * nvt * nvt));
+
+    double sum = 0.0;
+    for (const double vth : vthSamples)
+        sum += subthresholdCoreEquivalent(vth + vthShift, v, tempC);
     const double subthreshold =
-        randomBoost * sum / static_cast<double>(n * n);
+        randomBoost * sum / static_cast<double>(vthSamples.size());
 
     // Gate (tunnelling) leakage falls very steeply with voltage;
     // model it as V^4 (between the V^4-V^5 dependence of thin-oxide

@@ -21,6 +21,7 @@
 #define VARSCHED_POWER_LEAKAGE_HH
 
 #include <cstddef>
+#include <vector>
 
 #include "floorplan/floorplan.hh"
 #include "varius/varmap.hh"
@@ -90,6 +91,27 @@ class LeakageModel
     double corePower(const VariationMap &map, const Floorplan &plan,
                      std::size_t coreId, double v, double tempC,
                      double vthShift = 0.0) const;
+
+    /**
+     * The systematic-Vth samples corePower() integrates over, in its
+     * exact iteration order. The sample positions depend only on the
+     * floorplan and the map is frozen at manufacture, so callers that
+     * query leakage millions of times per die (the tick loop) can
+     * sample once and fold through corePowerSampled() instead of
+     * re-interpolating the field on every call.
+     */
+    std::vector<double> sampleCoreVth(const VariationMap &map,
+                                      const Floorplan &plan,
+                                      std::size_t coreId) const;
+
+    /**
+     * corePower() on pre-sampled Vth values — bit-identical to the
+     * sampling overload given sampleCoreVth() output and the map's
+     * vthSigmaRandom().
+     */
+    double corePowerSampled(const std::vector<double> &vthSamples,
+                            double sigmaRandom, double v, double tempC,
+                            double vthShift = 0.0) const;
 
     /** Static power of one L2 block at the given operating point. */
     double l2BlockPower(const VariationMap &map, const Floorplan &plan,

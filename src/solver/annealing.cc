@@ -79,4 +79,97 @@ annealMinimize(
     return result;
 }
 
+AnnealResult
+annealMinimize(const std::vector<int> &initial,
+               const std::vector<int> &levels, AnnealEnergy &energy,
+               const AnnealOptions &opts)
+{
+    assert(initial.size() == levels.size());
+
+    Rng rng(opts.seed);
+    AnnealResult result;
+
+    std::vector<int> current = initial;
+    double currentEnergy = energy.fullEnergy(current);
+    ++result.evals;
+
+    result.best = current;
+    result.bestEnergy = currentEnergy;
+
+    const std::size_t n = current.size();
+    if (n == 0)
+        return result;
+
+    // Indices changed by the pending proposal and their new values;
+    // applied to `current` on accept, dropped on reject (the oracle
+    // mirrors this through commit()/discard()).
+    std::vector<std::pair<std::size_t, int>> changed;
+    changed.reserve(8);
+    std::size_t acceptsSinceResync = 0;
+
+    while (result.evals < opts.maxEvals) {
+        const double temp = opts.initialTemp /
+            std::log(static_cast<double>(result.evals) + std::numbers::e);
+
+        // Same proposal kernel — and the same RNG draw sequence — as
+        // the full-rescore overload, but only the coordinates that
+        // actually move are touched.
+        changed.clear();
+        const double scale = std::max(0.5, temp);
+        double dE = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (rng.uniform() < 1.5 / static_cast<double>(n)) {
+                const int step =
+                    static_cast<int>(std::lround(rng.normal(0.0, scale)));
+                if (step != 0) {
+                    const int nv = std::clamp(current[i] + step, 0,
+                                              levels[i] - 1);
+                    if (nv != current[i]) {
+                        dE += energy.moveDelta(i, current[i], nv);
+                        changed.emplace_back(i, nv);
+                    }
+                }
+            }
+        }
+        if (changed.empty()) {
+            const std::size_t i = rng.below(n);
+            const int dir = rng.uniform() < 0.5 ? -1 : 1;
+            int nv = std::clamp(current[i] + dir, 0, levels[i] - 1);
+            if (nv == current[i])
+                nv = std::clamp(current[i] - dir, 0, levels[i] - 1);
+            if (nv != current[i]) {
+                dE += energy.moveDelta(i, current[i], nv);
+                changed.emplace_back(i, nv);
+            }
+        }
+
+        const double candEnergy = currentEnergy + dE;
+        ++result.evals;
+        energy.onCandidate(candEnergy);
+
+        if (dE <= 0.0 || rng.uniform() < std::exp(-dE / temp)) {
+            energy.commit();
+            for (const auto &[i, nv] : changed)
+                current[i] = nv;
+            currentEnergy = candEnergy;
+            ++result.accepted;
+            // Running sums accumulate add/subtract rounding; resync
+            // against a full rescore often enough that the drift can
+            // never grow past a few ulps.
+            if (++acceptsSinceResync >= 4096) {
+                currentEnergy = energy.fullEnergy(current);
+                acceptsSinceResync = 0;
+            }
+            if (currentEnergy < result.bestEnergy) {
+                result.bestEnergy = currentEnergy;
+                result.best = current;
+            }
+        } else {
+            energy.discard();
+        }
+    }
+
+    return result;
+}
+
 } // namespace varsched

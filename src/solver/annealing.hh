@@ -49,6 +49,57 @@ struct AnnealResult
 };
 
 /**
+ * Incremental energy oracle: scores single-coordinate moves in O(1)
+ * from running sums instead of rescoring the whole state in O(n).
+ *
+ * Contract: the annealer first calls fullEnergy(initial), then, per
+ * proposal, moveDelta(coord, oldLevel, newLevel) once for each
+ * coordinate the Markov kernel actually changed (speculative — the
+ * oracle applies the move to its internal state immediately),
+ * onCandidate(candidateEnergy) once when the proposal is complete,
+ * and finally commit() on acceptance or discard() on rejection
+ * (exact rollback to the pre-proposal sums). fullEnergy is also
+ * re-invoked periodically to resynchronise the running sums, bounding
+ * floating-point drift from long add/subtract chains.
+ */
+class AnnealEnergy
+{
+  public:
+    virtual ~AnnealEnergy() = default;
+
+    /**
+     * Full O(n) energy of @p state; (re)initialises the running sums
+     * and clears any pending speculation.
+     */
+    virtual double fullEnergy(const std::vector<int> &state) = 0;
+
+    /**
+     * Speculatively change @p coord from @p oldLevel (its current
+     * value) to @p newLevel, returning the resulting change in total
+     * energy. May be called for several distinct coordinates within
+     * one proposal; the deltas compose.
+     */
+    virtual double moveDelta(std::size_t coord, int oldLevel,
+                             int newLevel) = 0;
+
+    /**
+     * Proposal complete: @p candidateEnergy is the energy of the
+     * oracle's current (speculative) state. Hook for side-tracking,
+     * e.g. recording the best feasible state visited.
+     */
+    virtual void onCandidate(double candidateEnergy)
+    {
+        (void)candidateEnergy;
+    }
+
+    /** Accept the pending moves into the committed state. */
+    virtual void commit() = 0;
+
+    /** Roll the pending moves back to the committed state. */
+    virtual void discard() = 0;
+};
+
+/**
  * Minimise an energy function over integer-vector states with bounded
  * coordinates (each state[i] lies in [0, levels[i] - 1]).
  *
@@ -68,6 +119,22 @@ AnnealResult annealMinimize(
     const std::vector<int> &initial, const std::vector<int> &levels,
     const std::function<double(const std::vector<int> &)> &energy,
     const AnnealOptions &opts);
+
+/**
+ * Delta-scoring variant: identical Markov kernel, cooling schedule,
+ * and RNG draw sequence as the std::function overload, but each
+ * proposal is scored through @p energy's O(1) moveDelta instead of a
+ * full O(n) rescore, so an eval costs O(moved coordinates) — O(1) in
+ * expectation (the kernel moves 1.5 coordinates on average regardless
+ * of n). Candidate energies are maintained as running sums and can
+ * therefore differ from a full rescore in the last few ulps; the sums
+ * are resynchronised through fullEnergy() every 4096 acceptances to
+ * bound the drift.
+ */
+AnnealResult annealMinimize(const std::vector<int> &initial,
+                            const std::vector<int> &levels,
+                            AnnealEnergy &energy,
+                            const AnnealOptions &opts);
 
 } // namespace varsched
 

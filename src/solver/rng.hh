@@ -13,6 +13,8 @@
 #ifndef VARSCHED_SOLVER_RNG_HH
 #define VARSCHED_SOLVER_RNG_HH
 
+#include <array>
+#include <bit>
 #include <cmath>
 #include <cstdint>
 #include <numbers>
@@ -142,6 +144,33 @@ class Rng
     fork(std::uint64_t tag)
     {
         return Rng(next() ^ (tag * 0xd1342543de82ef95ull + 0x2545f4914f6cdd1dull));
+    }
+
+    /**
+     * Complete generator state — the xoshiro words plus the cached
+     * Box-Muller spare — packed into an ordered, comparable array.
+     * Two generators with equal captured states produce identical
+     * draw sequences, which is what lets state-keyed caches (the
+     * variation-field sample cache) replay a generation step exactly.
+     */
+    std::array<std::uint64_t, 6>
+    captureState() const
+    {
+        return {state_[0], state_[1], state_[2], state_[3],
+                std::bit_cast<std::uint64_t>(spare_),
+                static_cast<std::uint64_t>(haveSpare_)};
+    }
+
+    /** Restore a state captured with captureState(). */
+    void
+    restoreState(const std::array<std::uint64_t, 6> &snap)
+    {
+        state_[0] = snap[0];
+        state_[1] = snap[1];
+        state_[2] = snap[2];
+        state_[3] = snap[3];
+        spare_ = std::bit_cast<double>(snap[4]);
+        haveSpare_ = snap[5] != 0;
     }
 
   private:

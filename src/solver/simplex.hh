@@ -55,6 +55,8 @@ struct LpResult
     double objective = 0.0;
     /** Simplex pivots performed across both phases. */
     std::size_t pivots = 0;
+    /** True when the result came from an adopted warm basis. */
+    bool warmStarted = false;
 };
 
 /**
@@ -63,8 +65,26 @@ struct LpResult
  * Phase 1 constructs a feasible basis via artificial variables (only
  * for rows whose slack basis is infeasible); phase 2 optimises the
  * real objective. Bland's rule guarantees termination.
+ *
+ * @param warmBasis Optional basis (one column index per row, from a
+ *        previous solve's @p basisOut) to try before the cold
+ *        two-phase solve. When the basis can be adopted on the new
+ *        coefficients and is still primal feasible, phase 1 is
+ *        skipped entirely and phase 2 starts from it — a handful of
+ *        pivots when successive LPs differ only slightly, as across
+ *        DVFS intervals. Any failure (dimension mismatch, singular or
+ *        stale basis, infeasible right-hand sides) silently falls
+ *        back to the cold solve, so the result is identical to a cold
+ *        solve up to the usual simplex tolerances either way.
+ * @param basisOut When non-null, receives the optimal basis for
+ *        warm-starting the next call (cleared when the solve did not
+ *        reach Optimal; may name artificial columns after a cold
+ *        solve of a degenerate problem, which a later warm attempt
+ *        detects and rejects).
  */
-LpResult solveSimplex(const LinearProgram &lp);
+LpResult solveSimplex(const LinearProgram &lp,
+                      const std::vector<std::size_t> *warmBasis = nullptr,
+                      std::vector<std::size_t> *basisOut = nullptr);
 
 } // namespace varsched
 

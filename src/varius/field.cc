@@ -5,6 +5,7 @@
 #include <cmath>
 #include <complex>
 #include <cstdio>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -218,6 +219,47 @@ generateCirculant(std::size_t n, double phi, Rng &rng)
     return FieldSample(n, std::move(values));
 }
 
+/**
+ * Whole-sample cache: (pre-generation RNG state, n, phi, method) →
+ * (sampled field, post-generation RNG state). Generation is a pure
+ * function of that key, so a hit replays it exactly — same values,
+ * same downstream RNG stream — which is what makes re-manufacturing
+ * an identical die (thread sweeps re-running the same batch) free.
+ * FIFO-bounded: a paper-scale batch of distinct dies misses on every
+ * entry, and the cap keeps its memory flat instead of accumulating
+ * hundreds of n² grids.
+ */
+struct FieldSampleKey
+{
+    std::array<std::uint64_t, 6> rng;
+    std::size_t n;
+    double phi;
+    int method;
+
+    bool
+    operator<(const FieldSampleKey &o) const
+    {
+        if (rng != o.rng)
+            return rng < o.rng;
+        if (n != o.n)
+            return n < o.n;
+        if (phi != o.phi)
+            return phi < o.phi;
+        return method < o.method;
+    }
+};
+
+struct FieldSampleEntry
+{
+    FieldSample field;
+    std::array<std::uint64_t, 6> rngAfter;
+};
+
+constexpr std::size_t kFieldSampleCacheCap = 64;
+std::mutex sampleCacheMutex;
+std::map<FieldSampleKey, FieldSampleEntry> sampleCache;
+std::deque<FieldSampleKey> sampleCacheOrder;
+
 } // namespace
 
 void
@@ -234,18 +276,62 @@ fieldFactorCacheSize()
     return factorCache.size();
 }
 
+void
+clearFieldSampleCache()
+{
+    std::lock_guard<std::mutex> lock(sampleCacheMutex);
+    sampleCache.clear();
+    sampleCacheOrder.clear();
+}
+
+std::size_t
+fieldSampleCacheSize()
+{
+    std::lock_guard<std::mutex> lock(sampleCacheMutex);
+    return sampleCache.size();
+}
+
 FieldSample
 generateField(std::size_t n, double phi, Rng &rng, FieldMethod method)
 {
     assert(n >= 2);
     assert(phi > 0.0);
+
+    const FieldSampleKey key{rng.captureState(), n, phi,
+                             static_cast<int>(method)};
+    {
+        std::lock_guard<std::mutex> lock(sampleCacheMutex);
+        const auto it = sampleCache.find(key);
+        if (it != sampleCache.end()) {
+            rng.restoreState(it->second.rngAfter);
+            return it->second.field;
+        }
+    }
+
+    FieldSample field;
     switch (method) {
       case FieldMethod::Cholesky:
-        return generateCholesky(n, phi, rng);
+        field = generateCholesky(n, phi, rng);
+        break;
       case FieldMethod::CirculantFFT:
       default:
-        return generateCirculant(n, phi, rng);
+        field = generateCirculant(n, phi, rng);
+        break;
     }
+
+    std::lock_guard<std::mutex> lock(sampleCacheMutex);
+    // Two threads may have raced on the same die; insert-once keeps
+    // the FIFO order list consistent with the map.
+    if (sampleCache.emplace(key, FieldSampleEntry{field,
+                                                  rng.captureState()})
+            .second) {
+        sampleCacheOrder.push_back(key);
+        if (sampleCacheOrder.size() > kFieldSampleCacheCap) {
+            sampleCache.erase(sampleCacheOrder.front());
+            sampleCacheOrder.pop_front();
+        }
+    }
+    return field;
 }
 
 } // namespace varsched

@@ -318,6 +318,9 @@ TEST(FieldFactorCache, CachedFactorGivesIdenticalFields)
     const double phi = 0.5;
 
     clearFieldFactorCache();
+    // Clear the whole-sample cache too: these tests exercise the
+    // factor-on-miss path, which a sample-cache hit would bypass.
+    clearFieldSampleCache();
     EXPECT_EQ(fieldFactorCacheSize(), 0u);
 
     Rng cold(4242);
@@ -326,7 +329,9 @@ TEST(FieldFactorCache, CachedFactorGivesIdenticalFields)
     EXPECT_EQ(fieldFactorCacheSize(), 1u);
 
     // Same stream, now served from the cache: values must be
-    // bit-identical to the cold (factor-on-miss) path.
+    // bit-identical to the cold (factor-on-miss) path. (Drop the
+    // sample cache again so the hit lands on the factor cache.)
+    clearFieldSampleCache();
     Rng warm(4242);
     const FieldSample second =
         generateField(n, phi, warm, FieldMethod::Cholesky);
@@ -341,12 +346,14 @@ TEST(FieldFactorCache, CachedFactorGivesIdenticalFields)
     generateField(n + 2, phi, other, FieldMethod::Cholesky);
     EXPECT_EQ(fieldFactorCacheSize(), 2u);
     clearFieldFactorCache();
+    clearFieldSampleCache();
     EXPECT_EQ(fieldFactorCacheSize(), 0u);
 }
 
 TEST(FieldFactorCache, ConcurrentGenerationIsSafeAndDeterministic)
 {
     clearFieldFactorCache();
+    clearFieldSampleCache();
     const std::size_t n = 10;
     const double phi = 0.4;
 
@@ -354,6 +361,7 @@ TEST(FieldFactorCache, ConcurrentGenerationIsSafeAndDeterministic)
     const FieldSample expected =
         generateField(n, phi, ref, FieldMethod::Cholesky);
     clearFieldFactorCache();
+    clearFieldSampleCache();
 
     // Race many generators at the same cold cache; every one must
     // still see exactly the reference field for its seed.

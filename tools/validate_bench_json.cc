@@ -1,6 +1,6 @@
 /**
  * @file
- * Schema validator for BENCH_PR2.json, the per-bench perf-trajectory
+ * Schema validator for BENCH_PR3.json, the per-bench perf-trajectory
  * record the bench binaries emit (see bench/common.hh). Used by the
  * bench_smoke CTest label: after every bench has run at tiny batch
  * sizes, this tool checks the merged file so a malformed emitter
@@ -12,6 +12,9 @@
  *   parallel_s     number >= 0
  *   serial_s       number >= 0, or null when not measured
  *   speedup        number > 0, or null when not measured
+ *   physics_s      number >= 0 (chip-evaluation seconds)
+ *   pm_s           number >= 0 (power-manager seconds)
+ *   sched_s        number >= 0 (scheduler seconds)
  *   cg_free_thermal  true
  *
  * Exit 0 when every entry conforms (and at least one exists).
@@ -74,7 +77,7 @@ isNumber(const std::string &s, bool allowNull, bool requireNonNegative)
 bool
 fail(std::size_t entry, const char *what)
 {
-    std::fprintf(stderr, "BENCH_PR2.json entry %zu: %s\n", entry, what);
+    std::fprintf(stderr, "bench JSON entry %zu: %s\n", entry, what);
     return false;
 }
 
@@ -108,6 +111,14 @@ validateEntry(std::size_t index, const std::string &object,
         return fail(index, "serial_s and speedup must both be set "
                            "or both null");
 
+    // Per-phase wall-clock breakdown (PR 3+ entries).
+    if (!isNumber(rawValue(object, "physics_s"), false, true))
+        return fail(index, "\"physics_s\" must be a number >= 0");
+    if (!isNumber(rawValue(object, "pm_s"), false, true))
+        return fail(index, "\"pm_s\" must be a number >= 0");
+    if (!isNumber(rawValue(object, "sched_s"), false, true))
+        return fail(index, "\"sched_s\" must be a number >= 0");
+
     if (rawValue(object, "cg_free_thermal") != "true")
         return fail(index, "\"cg_free_thermal\" must be true");
     return true;
@@ -118,7 +129,7 @@ validateEntry(std::size_t index, const std::string &object,
 int
 main(int argc, char **argv)
 {
-    const char *path = argc > 1 ? argv[1] : "BENCH_PR2.json";
+    const char *path = argc > 1 ? argv[1] : "BENCH_PR3.json";
     std::FILE *in = std::fopen(path, "r");
     if (in == nullptr) {
         std::fprintf(stderr, "cannot open %s\n", path);
