@@ -19,6 +19,22 @@
 
 using namespace varsched;
 
+namespace
+{
+
+/** Per-die ABB metrics; folded in die order after the fan-out. */
+struct DieAbb
+{
+    double freqRatio = 0.0;
+    double powerRatio = 0.0;
+    double uniFreqHz = 0.0;
+    double staticW = 0.0;
+
+    bool operator==(const DieAbb &) const = default;
+};
+
+} // namespace
+
 int
 main()
 {
@@ -32,29 +48,37 @@ main()
 
     std::printf("%-8s %12s %12s %14s %14s\n", "ABB", "freq ratio",
                 "power ratio", "UniFreq (GHz)", "static (W)");
+    const auto seeds = diePopulationSeeds(numDies, 2026);
     for (double strength : {0.0, 0.5, 1.0}) {
         DieParams params;
         params.abbStrength = strength;
 
+        const auto dies = perf.runDies(
+            params, seeds, [](const Die &die, std::size_t) {
+                double fLo = 1e300, fHi = 0.0;
+                double pLo = 1e300, pHi = 0.0;
+                DieAbb a;
+                for (std::size_t c = 0; c < die.numCores(); ++c) {
+                    fLo = std::min(fLo, die.maxFreq(c));
+                    fHi = std::max(fHi, die.maxFreq(c));
+                    const double p =
+                        die.staticPowerAt(c, die.maxLevel());
+                    pLo = std::min(pLo, p);
+                    pHi = std::max(pHi, p);
+                    a.staticW += p;
+                }
+                a.freqRatio = fHi / fLo;
+                a.powerRatio = pHi / pLo;
+                a.uniFreqHz = die.uniformFreq();
+                return a;
+            });
+
         Summary freqRatio, powerRatio, uniFreq, staticTotal;
-        Rng seeder(2026);
-        for (std::size_t d = 0; d < numDies; ++d) {
-            const Die die(params, seeder.next());
-            double fLo = 1e300, fHi = 0.0, pLo = 1e300, pHi = 0.0;
-            double pSum = 0.0;
-            for (std::size_t c = 0; c < die.numCores(); ++c) {
-                fLo = std::min(fLo, die.maxFreq(c));
-                fHi = std::max(fHi, die.maxFreq(c));
-                const double p =
-                    die.staticPowerAt(c, die.maxLevel());
-                pLo = std::min(pLo, p);
-                pHi = std::max(pHi, p);
-                pSum += p;
-            }
-            freqRatio.add(fHi / fLo);
-            powerRatio.add(pHi / pLo);
-            uniFreq.add(die.uniformFreq());
-            staticTotal.add(pSum);
+        for (const DieAbb &a : dies) {
+            freqRatio.add(a.freqRatio);
+            powerRatio.add(a.powerRatio);
+            uniFreq.add(a.uniFreqHz);
+            staticTotal.add(a.staticW);
         }
         std::printf("%-8.1f %12.3f %12.3f %14.2f %14.1f\n", strength,
                     freqRatio.mean(), powerRatio.mean(),

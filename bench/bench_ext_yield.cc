@@ -7,6 +7,7 @@
  * Body Bias. The manufacturer's view of the Fig 4/5 variation data.
  */
 
+#include <cstdint>
 #include <cstdio>
 #include <vector>
 
@@ -19,30 +20,44 @@ using namespace varsched;
 namespace
 {
 
+/** Per-die yield inputs; folded in die order after the fan-out. */
+struct DieYield
+{
+    double clockHz = 0.0;
+    double staticW = 0.0;
+
+    bool operator==(const DieYield &) const = default;
+};
+
 /** Fraction of the lot whose UniFreq clock meets each target. */
 void
-yieldRow(double sigma, double abb, std::size_t lot,
+yieldRow(bench::PerfRecorder &perf, double sigma, double abb,
+         const std::vector<std::uint64_t> &seeds,
          const std::vector<double> &targetsGHz, double powerLimitW)
 {
     DieParams params;
     params.variation.vthSigmaOverMu = sigma;
     params.abbStrength = abb;
 
+    const auto dies = perf.runDies(
+        params, seeds, [](const Die &die, std::size_t) {
+            DieYield y;
+            y.clockHz = die.uniformFreq();
+            for (std::size_t c = 0; c < die.numCores(); ++c)
+                y.staticW += die.staticPowerAt(c, die.maxLevel());
+            return y;
+        });
+
+    const std::size_t lot = seeds.size();
     std::vector<std::size_t> meets(targetsGHz.size(), 0);
     std::size_t powerOk = 0;
     Summary clock;
-    Rng seeder(777);
-    for (std::size_t d = 0; d < lot; ++d) {
-        const Die die(params, seeder.next());
-        const double f = die.uniformFreq();
-        clock.add(f);
-        double staticW = 0.0;
-        for (std::size_t c = 0; c < die.numCores(); ++c)
-            staticW += die.staticPowerAt(c, die.maxLevel());
-        const bool power = staticW <= powerLimitW;
+    for (const DieYield &y : dies) {
+        clock.add(y.clockHz);
+        const bool power = y.staticW <= powerLimitW;
         powerOk += power;
         for (std::size_t t = 0; t < targetsGHz.size(); ++t) {
-            if (power && f >= targetsGHz[t] * 1e9)
+            if (power && y.clockHz >= targetsGHz[t] * 1e9)
                 ++meets[t];
         }
     }
@@ -73,6 +88,9 @@ main()
     const std::size_t lot = envSize("VARSCHED_DIES", 80);
     const double powerLimitW = 120.0; // static power screen
     const std::vector<double> targets = {2.2, 2.5, 2.8, 3.1};
+    // One lot of seeds shared by every row: each row re-manufactures
+    // the same wafer positions under different process settings.
+    const auto seeds = diePopulationSeeds(lot, 777);
 
     std::printf("[%zu dies per row; static-power screen %.0f W]\n\n",
                 lot, powerLimitW);
@@ -80,11 +98,11 @@ main()
                 "ABB", "clock", ">=2.2G", ">=2.5G", ">=2.8G",
                 ">=3.1G", "pwr ok");
     for (double sigma : {0.03, 0.06, 0.09, 0.12}) {
-        yieldRow(sigma, 0.0, lot, targets, powerLimitW);
+        yieldRow(perf, sigma, 0.0, seeds, targets, powerLimitW);
     }
     std::printf("\n");
     for (double abb : {0.0, 0.5, 1.0}) {
-        yieldRow(0.12, abb, lot, targets, powerLimitW);
+        yieldRow(perf, 0.12, abb, seeds, targets, powerLimitW);
     }
     std::printf("\n(variation costs frequency bins; ABB buys bins "
                 "back but squeezes the power screen)\n");

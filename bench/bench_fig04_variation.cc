@@ -20,6 +20,15 @@ using namespace varsched;
 namespace
 {
 
+/** Per-die max/min ratios; folded in die order after the fan-out. */
+struct DieRatios
+{
+    double power = 0.0;
+    double freq = 0.0;
+
+    bool operator==(const DieRatios &) const = default;
+};
+
 /**
  * Average power of each core across the application pool, with every
  * core at the top voltage level (Section 7.1 protocol), settled
@@ -76,15 +85,18 @@ main()
     Histogram freqHist(1.0, 1.6, 12);
     Summary powerSummary, freqSummary;
 
-    Rng seeder(2026);
-    for (std::size_t d = 0; d < numDies; ++d) {
-        const Die die(params, seeder.next());
-        double pr = 0.0, fr = 0.0;
-        coreRatios(die, pr, fr);
-        powerHist.add(pr);
-        freqHist.add(fr);
-        powerSummary.add(pr);
-        freqSummary.add(fr);
+    const auto ratios = perf.runDies(
+        params, diePopulationSeeds(numDies, 2026),
+        [](const Die &die, std::size_t) {
+            DieRatios r;
+            coreRatios(die, r.power, r.freq);
+            return r;
+        });
+    for (const DieRatios &r : ratios) {
+        powerHist.add(r.power);
+        freqHist.add(r.freq);
+        powerSummary.add(r.power);
+        freqSummary.add(r.freq);
     }
 
     std::printf("(a) max/min core power ratio  — mean %.3f "

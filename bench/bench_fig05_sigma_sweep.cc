@@ -20,6 +20,15 @@ using namespace varsched;
 namespace
 {
 
+/** Per-die max/min ratios; folded in die order after the fan-out. */
+struct DieRatios
+{
+    double power = 0.0;
+    double freq = 0.0;
+
+    bool operator==(const DieRatios &) const = default;
+};
+
 void
 coreRatios(const Die &die, double &powerRatio, double &freqRatio)
 {
@@ -67,17 +76,20 @@ main()
 
     std::printf("%-10s %14s %14s\n", "sigma/mu", "power ratio",
                 "freq ratio");
+    const auto seeds = diePopulationSeeds(numDies, 2026);
     for (double sigma : {0.03, 0.06, 0.09, 0.12}) {
         DieParams params;
         params.variation.vthSigmaOverMu = sigma;
+        const auto ratios = perf.runDies(
+            params, seeds, [](const Die &die, std::size_t) {
+                DieRatios r;
+                coreRatios(die, r.power, r.freq);
+                return r;
+            });
         Summary power, freq;
-        Rng seeder(2026);
-        for (std::size_t d = 0; d < numDies; ++d) {
-            const Die die(params, seeder.next());
-            double pr = 0.0, fr = 0.0;
-            coreRatios(die, pr, fr);
-            power.add(pr);
-            freq.add(fr);
+        for (const DieRatios &r : ratios) {
+            power.add(r.power);
+            freq.add(r.freq);
         }
         std::printf("%-10.2f %14.3f %14.3f\n", sigma, power.mean(),
                     freq.mean());

@@ -9,14 +9,16 @@
  *
  * Every bench owns a PerfRecorder, which times its runBatch() calls
  * (or, for benches that do not run batches, the whole binary) and
- * merges a per-bench entry into BENCH_PR3.json — the repo's
+ * merges a per-bench entry into BENCH_PR5.json — the repo's
  * perf-trajectory record — under an advisory file lock, so benches
  * running concurrently (ctest -j) cannot drop each other's entries.
  * Entries carry the per-phase wall-clock breakdown (physics /
- * power-manager / scheduler seconds) reported by the runs. With
+ * power-manager / scheduler seconds, and mfg_s for the die-population
+ * manufacture phase) reported by the runs. With
  * VARSCHED_BENCH_COMPARE=1 each batch is re-run serially to measure
  * the speedup and to verify that the parallel runner's metrics are
- * bit-identical to the serial path.
+ * bit-identical to the serial path; die-population fan-outs
+ * (runDies) get the same serial re-run-and-compare guard.
  */
 
 #ifndef VARSCHED_BENCH_COMMON_HH
@@ -32,6 +34,7 @@
 #include <vector>
 
 #include "core/experiment.hh"
+#include "runtime/diepop.hh"
 #include "runtime/threadpool.hh"
 
 namespace varsched::bench
@@ -173,6 +176,35 @@ class PerfRecorder
         return result;
     }
 
+    /**
+     * Timed die-population fan-out (runDiePopulation). Accumulates
+     * the manufacture phase into the entry's mfg_s field; in compare
+     * mode the lot is re-run on one worker and the per-die results
+     * must compare equal element-for-element, or the bench aborts —
+     * the fan-out must be bit-identical to the serial loop.
+     */
+    template <typename Fn>
+    auto
+    runDies(const DieParams &params,
+            const std::vector<std::uint64_t> &seeds, Fn &&perDie)
+    {
+        auto run = runDiePopulation(params, seeds, perDie);
+        mfgSec_ += run.mfgSec;
+        haveMfg_ = true;
+
+        if (compare_) {
+            const auto ref = runDiePopulation(params, seeds, perDie, 1);
+            if (run.results != ref.results) {
+                std::fprintf(stderr,
+                             "%s: die-population fan-out diverged "
+                             "from the serial loop\n",
+                             name_.c_str());
+                std::abort();
+            }
+        }
+        return run.results;
+    }
+
     ~PerfRecorder()
     {
         const double parallel =
@@ -186,6 +218,11 @@ class PerfRecorder
             std::snprintf(serial, sizeof serial, "null");
             std::snprintf(speedup, sizeof speedup, "null");
         }
+        char mfg[64];
+        if (haveMfg_)
+            std::snprintf(mfg, sizeof mfg, "%.6f", mfgSec_);
+        else
+            std::snprintf(mfg, sizeof mfg, "null");
         char entry[768];
         std::snprintf(
             entry, sizeof entry,
@@ -193,9 +230,9 @@ class PerfRecorder
             "\"parallel_s\": %.6f, \"serial_s\": %s, "
             "\"speedup\": %s, \"physics_s\": %.6f, "
             "\"pm_s\": %.6f, \"sched_s\": %.6f, "
-            "\"cg_free_thermal\": true}",
+            "\"mfg_s\": %s, \"cg_free_thermal\": true}",
             name_.c_str(), configuredThreads(), parallel, serial,
-            speedup, physicsSec_, pmSec_, schedSec_);
+            speedup, physicsSec_, pmSec_, schedSec_, mfg);
         mergeJson(entry);
     }
 
@@ -216,7 +253,7 @@ class PerfRecorder
     mergeJson(const std::string &entry) const
     {
         const char *env = std::getenv("VARSCHED_BENCH_JSON");
-        const std::string path = env ? env : "BENCH_PR3.json";
+        const std::string path = env ? env : "BENCH_PR5.json";
 
         const std::string lockPath = path + ".lock";
         const int lockFd =
@@ -266,8 +303,10 @@ class PerfRecorder
     bool compare_;
     bool ranBatch_ = false;
     bool haveSerial_ = false;
+    bool haveMfg_ = false;
     double parallelSec_ = 0.0;
     double serialSec_ = 0.0;
+    double mfgSec_ = 0.0;
     // Phase breakdown summed from the primary (parallel) runs.
     double physicsSec_ = 0.0;
     double pmSec_ = 0.0;

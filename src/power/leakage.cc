@@ -92,15 +92,57 @@ LeakageModel::corePowerSampled(const std::vector<double> &vthSamples,
     const double randomBoost =
         std::exp(sigmaRandom * sigmaRandom / (2.0 * nvt * nvt));
 
+    // Batched fold: every (V, T)-invariant of the per-sample kernel is
+    // hoisted, the exp arguments are computed as one contiguous
+    // (autovectorizable) sweep, and only the exp() fold itself runs
+    // through libm. Each subexpression keeps the exact shape of
+    // expArg()/subthresholdCoreEquivalent(), and the summation order
+    // is unchanged, so the result is bit-identical to the scalar
+    // reference (corePowerSampledRef).
+    const std::size_t n = vthSamples.size();
+    const double dVth =
+        params_.vthTempCoeff * (tempC - params_.refTempC);
+    const double dibl = params_.dibl * v;
+    const double tK = tempC + 273.15;
+    const double pref = norm_ * v * tK * tK;
+
+    static thread_local std::vector<double> args;
+    args.resize(n);
+    const double *vthData = vthSamples.data();
+    for (std::size_t i = 0; i < n; ++i) {
+        const double vth = (vthData[i] + vthShift) - dVth;
+        args[i] = (-vth + dibl) / nvt;
+    }
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        sum += pref * std::exp(args[i]);
+    const double subthreshold =
+        randomBoost * sum / static_cast<double>(n);
+
+    // Gate (tunnelling) leakage falls very steeply with voltage;
+    // model it as V^4 (between the V^4-V^5 dependence of thin-oxide
+    // tunnelling models).
+    const double vr = v / params_.nominalVdd;
+    const double gate = params_.nominalCoreGateW * vr * vr * vr * vr;
+
+    return subthreshold + gate;
+}
+
+double
+LeakageModel::corePowerSampledRef(const std::vector<double> &vthSamples,
+                                  double sigmaRandom, double v,
+                                  double tempC, double vthShift) const
+{
+    const double nvt = params_.slopeFactor * thermalVoltage(tempC);
+    const double randomBoost =
+        std::exp(sigmaRandom * sigmaRandom / (2.0 * nvt * nvt));
+
     double sum = 0.0;
     for (const double vth : vthSamples)
         sum += subthresholdCoreEquivalent(vth + vthShift, v, tempC);
     const double subthreshold =
         randomBoost * sum / static_cast<double>(vthSamples.size());
 
-    // Gate (tunnelling) leakage falls very steeply with voltage;
-    // model it as V^4 (between the V^4-V^5 dependence of thin-oxide
-    // tunnelling models).
     const double vr = v / params_.nominalVdd;
     const double gate = params_.nominalCoreGateW * vr * vr * vr * vr;
 

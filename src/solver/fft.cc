@@ -1,11 +1,65 @@
 #include "solver/fft.hh"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <map>
 #include <numbers>
 
 namespace varsched
 {
+
+namespace
+{
+
+/**
+ * Forward twiddle table for length-n transforms: w[k] = exp(-2πik/n)
+ * for k < n/2. At butterfly stage `len` the needed factor is
+ * w[k * (n/len)], so one table serves every stage. thread_local —
+ * the parallel batch runner transforms concurrently and only a few
+ * distinct lengths ever occur per thread.
+ */
+const std::vector<std::complex<double>> &
+twiddleTable(std::size_t n)
+{
+    static thread_local std::map<std::size_t,
+                                 std::vector<std::complex<double>>> cache;
+    std::vector<std::complex<double>> &t = cache[n];
+    if (t.empty()) {
+        t.resize(n / 2);
+        for (std::size_t k = 0; k < n / 2; ++k) {
+            const double ang = -2.0 * std::numbers::pi *
+                static_cast<double>(k) / static_cast<double>(n);
+            t[k] = std::complex<double>(std::cos(ang), std::sin(ang));
+        }
+    }
+    return t;
+}
+
+/**
+ * Blocked out-of-place transpose: dst (cols x rows) = src (rows x
+ * cols) transposed. 32x32 tiles keep both the source row walk and the
+ * destination row walk inside the cache for the large (512²+)
+ * circulant-embedding grids.
+ */
+void
+transposeBlocked(const std::complex<double> *src,
+                 std::complex<double> *dst, std::size_t rows,
+                 std::size_t cols)
+{
+    constexpr std::size_t kBlock = 32;
+    for (std::size_t rb = 0; rb < rows; rb += kBlock) {
+        const std::size_t rEnd = std::min(rows, rb + kBlock);
+        for (std::size_t cb = 0; cb < cols; cb += kBlock) {
+            const std::size_t cEnd = std::min(cols, cb + kBlock);
+            for (std::size_t r = rb; r < rEnd; ++r)
+                for (std::size_t c = cb; c < cEnd; ++c)
+                    dst[c * rows + r] = src[r * cols + c];
+        }
+    }
+}
+
+} // namespace
 
 bool
 isPowerOfTwo(std::size_t n)
@@ -23,9 +77,8 @@ nextPowerOfTwo(std::size_t n)
 }
 
 void
-fft(std::vector<std::complex<double>> &data, bool inverse)
+fft(std::complex<double> *data, std::size_t n, bool inverse)
 {
-    const std::size_t n = data.size();
     assert(isPowerOfTwo(n));
     if (n <= 1)
         return;
@@ -40,21 +93,30 @@ fft(std::vector<std::complex<double>> &data, bool inverse)
             std::swap(data[i], data[j]);
     }
 
+    const std::vector<std::complex<double>> &tw = twiddleTable(n);
     for (std::size_t len = 2; len <= n; len <<= 1) {
-        const double ang = 2.0 * std::numbers::pi /
-            static_cast<double>(len) * (inverse ? 1.0 : -1.0);
-        const std::complex<double> wlen(std::cos(ang), std::sin(ang));
+        const std::size_t half = len / 2;
+        const std::size_t stride = n / len;
         for (std::size_t i = 0; i < n; i += len) {
-            std::complex<double> w(1.0, 0.0);
-            for (std::size_t k = 0; k < len / 2; ++k) {
-                const std::complex<double> u = data[i + k];
-                const std::complex<double> v = data[i + k + len / 2] * w;
-                data[i + k] = u + v;
-                data[i + k + len / 2] = u - v;
-                w *= wlen;
+            std::complex<double> *lo = data + i;
+            std::complex<double> *hi = lo + half;
+            for (std::size_t k = 0; k < half; ++k) {
+                const std::complex<double> &t = tw[k * stride];
+                const std::complex<double> w =
+                    inverse ? std::conj(t) : t;
+                const std::complex<double> u = lo[k];
+                const std::complex<double> v = hi[k] * w;
+                lo[k] = u + v;
+                hi[k] = u - v;
             }
         }
     }
+}
+
+void
+fft(std::vector<std::complex<double>> &data, bool inverse)
+{
+    fft(data.data(), data.size(), inverse);
 }
 
 void
@@ -64,24 +126,20 @@ fft2d(std::vector<std::complex<double>> &data, std::size_t rows,
     assert(data.size() == rows * cols);
     assert(isPowerOfTwo(rows) && isPowerOfTwo(cols));
 
-    std::vector<std::complex<double>> scratch(std::max(rows, cols));
+    for (std::size_t r = 0; r < rows; ++r)
+        fft(data.data() + r * cols, cols, inverse);
 
-    for (std::size_t r = 0; r < rows; ++r) {
-        scratch.assign(data.begin() + static_cast<long>(r * cols),
-                       data.begin() + static_cast<long>((r + 1) * cols));
-        fft(scratch, inverse);
-        std::copy(scratch.begin(), scratch.end(),
-                  data.begin() + static_cast<long>(r * cols));
-    }
-
-    scratch.resize(rows);
-    for (std::size_t c = 0; c < cols; ++c) {
-        for (std::size_t r = 0; r < rows; ++r)
-            scratch[r] = data[r * cols + c];
-        fft(scratch, inverse);
-        for (std::size_t r = 0; r < rows; ++r)
-            data[r * cols + c] = scratch[r];
-    }
+    // Column pass: transpose so former columns are contiguous rows,
+    // transform them in place, transpose back. The two blocked
+    // transposes are far cheaper than n strided gathers on the big
+    // embedding grids. thread_local scratch: concurrent die
+    // manufacture transforms from several pool workers at once.
+    static thread_local std::vector<std::complex<double>> scratch;
+    scratch.resize(rows * cols);
+    transposeBlocked(data.data(), scratch.data(), rows, cols);
+    for (std::size_t c = 0; c < cols; ++c)
+        fft(scratch.data() + c * rows, rows, inverse);
+    transposeBlocked(scratch.data(), data.data(), cols, rows);
 }
 
 } // namespace varsched

@@ -25,15 +25,25 @@ std::size_t nextPowerOfTwo(std::size_t n);
 /**
  * In-place iterative radix-2 FFT.
  *
+ * Twiddle factors come from a per-length table (cached per thread)
+ * rather than the classic w *= wlen recurrence: the table kills the
+ * serial multiply dependency in the butterfly inner loop and avoids
+ * the recurrence's accumulated rounding drift at large N.
+ *
  * @param data Sequence whose length must be a power of two.
  * @param inverse When true computes the unscaled inverse transform;
  *        callers divide by N to invert exactly.
  */
 void fft(std::vector<std::complex<double>> &data, bool inverse);
 
+/** fft() on a raw span of @p n complex values (n a power of two). */
+void fft(std::complex<double> *data, std::size_t n, bool inverse);
+
 /**
- * In-place 2D FFT of row-major data with power-of-two dimensions:
- * transforms every row, then every column.
+ * In-place 2D FFT of row-major data with power-of-two dimensions.
+ * Rows are transformed in place; the column pass runs as
+ * blocked-transpose → contiguous row transforms → transpose back, so
+ * every 1D transform walks unit-stride memory.
  */
 void fft2d(std::vector<std::complex<double>> &data, std::size_t rows,
            std::size_t cols, bool inverse);

@@ -1,10 +1,38 @@
 #include "solver/matrix.hh"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
 namespace varsched
 {
+
+namespace
+{
+
+/**
+ * Dot product of two contiguous spans, register-blocked: four
+ * independent accumulators hide the FP-add latency and let the
+ * compiler vectorise without having to prove reassociation is safe.
+ */
+double
+dotBlocked(const double *a, const double *b, std::size_t n)
+{
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+    std::size_t k = 0;
+    for (; k + 4 <= n; k += 4) {
+        s0 += a[k] * b[k];
+        s1 += a[k + 1] * b[k + 1];
+        s2 += a[k + 2] * b[k + 2];
+        s3 += a[k + 3] * b[k + 3];
+    }
+    double s = (s0 + s1) + (s2 + s3);
+    for (; k < n; ++k)
+        s += a[k] * b[k];
+    return s;
+}
+
+} // namespace
 
 bool
 cholesky(const Matrix &a, Matrix &l)
@@ -16,13 +44,18 @@ cholesky(const Matrix &a, Matrix &l)
     // Jitter ladder: retry with a progressively larger diagonal boost
     // when near-singular covariance matrices (e.g. fully correlated
     // grid points) defeat exact factorisation.
+    //
+    // The update term sum_k l(i,k)·l(j,k) runs over two *rows* of L —
+    // contiguous in the row-major store — so the inner reduction is
+    // the register-blocked dot above.
     for (double jitter : {0.0, 1e-12, 1e-9, 1e-6}) {
         bool ok = true;
         for (std::size_t i = 0; i < n && ok; ++i) {
+            const double *li = l.row(i);
             for (std::size_t j = 0; j <= i; ++j) {
-                double sum = a(i, j) + (i == j ? jitter : 0.0);
-                for (std::size_t k = 0; k < j; ++k)
-                    sum -= l(i, k) * l(j, k);
+                const double *lj = l.row(j);
+                const double sum = a(i, j) + (i == j ? jitter : 0.0) -
+                    dotBlocked(li, lj, j);
                 if (i == j) {
                     if (sum <= 0.0) {
                         ok = false;
@@ -30,7 +63,7 @@ cholesky(const Matrix &a, Matrix &l)
                     }
                     l(i, i) = std::sqrt(sum);
                 } else {
-                    l(i, j) = sum / l(j, j);
+                    l(i, j) = sum / lj[j];
                 }
             }
         }
@@ -45,11 +78,10 @@ lowerMultiply(const Matrix &l, const std::vector<double> &x)
 {
     assert(l.cols() == x.size());
     std::vector<double> y(l.rows(), 0.0);
+    const double *xd = x.data();
     for (std::size_t i = 0; i < l.rows(); ++i) {
-        double sum = 0.0;
-        for (std::size_t j = 0; j <= i && j < l.cols(); ++j)
-            sum += l(i, j) * x[j];
-        y[i] = sum;
+        const std::size_t len = std::min(i + 1, l.cols());
+        y[i] = dotBlocked(l.row(i), xd, len);
     }
     return y;
 }
@@ -60,22 +92,25 @@ choleskySolve(const Matrix &l, const std::vector<double> &b)
     assert(l.rows() == l.cols() && l.rows() == b.size());
     const std::size_t n = b.size();
 
-    // Forward substitution: L·y = b.
+    // Forward substitution: L·y = b. Row i of L is contiguous, so the
+    // partial-row reduction is a blocked dot.
     std::vector<double> y(n);
     for (std::size_t i = 0; i < n; ++i) {
-        double sum = b[i];
-        for (std::size_t j = 0; j < i; ++j)
-            sum -= l(i, j) * y[j];
-        y[i] = sum / l(i, i);
+        const double *li = l.row(i);
+        y[i] = (b[i] - dotBlocked(li, y.data(), i)) / li[i];
     }
 
-    // Backward substitution: Lᵀ·x = y.
+    // Backward substitution: Lᵀ·x = y, recast in axpy form so every
+    // inner loop still walks a contiguous *row* of L instead of a
+    // column stride: once x[i] is known, its contribution is
+    // subtracted from all earlier equations at once.
     std::vector<double> x(n);
     for (std::size_t i = n; i-- > 0;) {
-        double sum = y[i];
-        for (std::size_t j = i + 1; j < n; ++j)
-            sum -= l(j, i) * x[j];
-        x[i] = sum / l(i, i);
+        const double *li = l.row(i);
+        const double xi = y[i] / li[i];
+        x[i] = xi;
+        for (std::size_t j = 0; j < i; ++j)
+            y[j] -= li[j] * xi;
     }
     return x;
 }

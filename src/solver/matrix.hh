@@ -35,6 +35,16 @@ class Matrix
     std::size_t rows() const { return rows_; }
     std::size_t cols() const { return cols_; }
 
+    /**
+     * Raw pointer to row @p r (contiguous, cols() doubles). The
+     * register-blocked kernels below walk rows through these instead
+     * of per-element operator() so the inner loops are contiguous
+     * loads the compiler can keep in registers.
+     */
+    double *row(std::size_t r) { return data_.data() + r * cols_; }
+    const double *row(std::size_t r) const
+    { return data_.data() + r * cols_; }
+
   private:
     std::size_t rows_ = 0;
     std::size_t cols_ = 0;

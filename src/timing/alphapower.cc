@@ -11,25 +11,60 @@ vthAtTemp(double vthRef, double tempC, const DelayParams &params)
     return vthRef - params.vthTempCoeff * (tempC - params.refTempC);
 }
 
+namespace
+{
+
+// Below ~50 mV of overdrive the gate is effectively off at speed;
+// return a delay large enough that fmax collapses smoothly.
+constexpr double kMinOverdrive = 0.05;
+
+/** (T/Tref)^mobilityExponent — the (V,T)-invariant derating factor. */
+double
+mobilityDerateAt(double tempC, const DelayParams &params)
+{
+    const double tKelvin = tempC + 273.15;
+    const double tRefKelvin = params.refTempC + 273.15;
+    return std::pow(tKelvin / tRefKelvin, params.mobilityExponent);
+}
+
+/** Soft-clamped overdrive shared by the scalar and batched kernels. */
+inline double
+effectiveOverdrive(double overdrive)
+{
+    return overdrive < kMinOverdrive
+        ? kMinOverdrive * kMinOverdrive / (2.0 * kMinOverdrive - overdrive)
+        : overdrive;
+}
+
+} // namespace
+
 double
 gateDelay(double leff, double vthRef, double v, double tempC,
           const DelayParams &params)
 {
     const double vth = vthAtTemp(vthRef, tempC, params);
-    const double overdrive = v - vth;
-    // Below ~50 mV of overdrive the gate is effectively off at speed;
-    // return a delay large enough that fmax collapses smoothly.
-    constexpr double kMinOverdrive = 0.05;
-    const double effOverdrive = overdrive < kMinOverdrive
-        ? kMinOverdrive * kMinOverdrive / (2.0 * kMinOverdrive - overdrive)
-        : overdrive;
-
-    const double tKelvin = tempC + 273.15;
-    const double tRefKelvin = params.refTempC + 273.15;
-    const double mobilityDerate =
-        std::pow(tKelvin / tRefKelvin, params.mobilityExponent);
-
+    const double effOverdrive = effectiveOverdrive(v - vth);
+    const double mobilityDerate = mobilityDerateAt(tempC, params);
     return leff * v * mobilityDerate / std::pow(effOverdrive, params.alpha);
+}
+
+void
+gateDelayBatch(const double *leff, const double *vth, std::size_t n,
+               double v, double tempC, const DelayParams &params,
+               double *out)
+{
+    // Hoist everything that does not depend on the path. The per-path
+    // body below evaluates the exact same subexpressions as
+    // gateDelay(), so the sweep is bit-identical to the scalar loop.
+    const double dVth = params.vthTempCoeff * (tempC - params.refTempC);
+    const double mobilityDerate = mobilityDerateAt(tempC, params);
+    const double alpha = params.alpha;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double effOverdrive =
+            effectiveOverdrive(v - (vth[i] - dVth));
+        out[i] = leff[i] * v * mobilityDerate /
+            std::pow(effOverdrive, alpha);
+    }
 }
 
 } // namespace varsched

@@ -10,6 +10,8 @@
 #ifndef VARSCHED_TIMING_ALPHAPOWER_HH
 #define VARSCHED_TIMING_ALPHAPOWER_HH
 
+#include <cstddef>
+
 namespace varsched
 {
 
@@ -44,6 +46,28 @@ double vthAtTemp(double vthRef, double tempC, const DelayParams &params);
  */
 double gateDelay(double leff, double vthRef, double v, double tempC,
                  const DelayParams &params);
+
+/**
+ * Batched gateDelay() over a contiguous path population at one
+ * operating point: out[i] = gateDelay(leff[i], vth[i], v, tempC).
+ *
+ * The (V, T) invariants — the temperature shift of Vth and the
+ * mobility derating — are hoisted out of the loop (they do not
+ * depend on the path), leaving a contiguous sweep whose only
+ * per-element transcendental is pow(overdrive, alpha). Because the
+ * hoisted terms are the very same subexpressions the scalar path
+ * computes, the batch result is bit-identical to calling gateDelay()
+ * element by element; the documented agreement contract for callers
+ * is <= 1e-12 relative, leaving headroom for future reassociating
+ * (e.g. -march=native fma) builds.
+ *
+ * @param leff  Array of n normalised effective gate lengths.
+ * @param vth   Array of n threshold voltages at the 60 C reference.
+ * @param out   Array of n relative delays (written).
+ */
+void gateDelayBatch(const double *leff, const double *vth, std::size_t n,
+                    double v, double tempC, const DelayParams &params,
+                    double *out);
 
 } // namespace varsched
 

@@ -11,9 +11,15 @@ CoreTiming::CoreTiming(std::vector<Path> paths,
                        const DelayParams &delayParams,
                        const CritPathParams &cpParams, double vthNominal,
                        double leffNominal)
-    : paths_(std::move(paths)), delayParams_(delayParams)
+    : delayParams_(delayParams)
 {
-    assert(!paths_.empty());
+    assert(!paths.empty());
+    vth_.reserve(paths.size());
+    leff_.reserve(paths.size());
+    for (const Path &p : paths) {
+        vth_.push_back(p.vthEff);
+        leff_.push_back(p.leffEff);
+    }
     // Calibrate: a variation-free path at (nominalVdd, binTempC)
     // corresponds to one cycle of the nominal frequency, so delays in
     // relative units convert to seconds through this scale.
@@ -26,17 +32,44 @@ CoreTiming::CoreTiming(std::vector<Path> paths,
 void
 CoreTiming::shiftVth(double deltaV)
 {
-    for (auto &p : paths_)
-        p.vthEff += deltaV;
+    for (double &vth : vth_)
+        vth += deltaV;
+}
+
+std::vector<CoreTiming::Path>
+CoreTiming::paths() const
+{
+    std::vector<Path> out;
+    out.reserve(vth_.size());
+    for (std::size_t i = 0; i < vth_.size(); ++i)
+        out.push_back(Path{vth_[i], leff_[i]});
+    return out;
 }
 
 double
 CoreTiming::maxDelay(double v, double tempC) const
 {
+    // Per-call scratch for the delay sweep. thread_local rather than a
+    // mutable member: a manufactured Die is shared read-only across
+    // the batch runner's workers, so maxDelay must stay re-entrant.
+    static thread_local std::vector<double> delays;
+    const std::size_t n = vth_.size();
+    delays.resize(n);
+    gateDelayBatch(leff_.data(), vth_.data(), n, v, tempC, delayParams_,
+                   delays.data());
     double worst = 0.0;
-    for (const auto &p : paths_) {
+    for (std::size_t i = 0; i < n; ++i)
+        worst = std::max(worst, delays[i] * delayScale_);
+    return worst;
+}
+
+double
+CoreTiming::maxDelayScalarRef(double v, double tempC) const
+{
+    double worst = 0.0;
+    for (std::size_t i = 0; i < vth_.size(); ++i) {
         const double d =
-            gateDelay(p.leffEff, p.vthEff, v, tempC, delayParams_) *
+            gateDelay(leff_[i], vth_[i], v, tempC, delayParams_) *
             delayScale_;
         worst = std::max(worst, d);
     }
@@ -73,7 +106,7 @@ buildCoreTiming(const VariationMap &map, const Floorplan &plan,
             rng.normal(0.0, vthSigRan / std::sqrt(gateCount));
         p.leffEff = map.leffAt(x, y) +
             rng.normal(0.0, leffSigRan / std::sqrt(gateCount));
-        p.leffEff = std::max(0.3, p.leffEff);
+        p.leffEff = std::max(kMinLeff, p.leffEff);
         paths.push_back(p);
     }
 
@@ -93,7 +126,7 @@ buildCoreTiming(const VariationMap &map, const Floorplan &plan,
                          worstJitterSigma * rng.normal());
         p.leffEff = map.leffAt(x, y) +
             leffSigRan * rng.normal();
-        p.leffEff = std::max(0.3, p.leffEff);
+        p.leffEff = std::max(kMinLeff, p.leffEff);
         paths.push_back(p);
     }
 

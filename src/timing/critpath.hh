@@ -32,6 +32,14 @@
 namespace varsched
 {
 
+/**
+ * Smallest admissible normalised Leff for a sampled path. The random
+ * component can drive a draw towards zero (or negative), where the
+ * alpha-power delay model loses meaning; both the logic- and the
+ * SRAM-path sampling loops clamp to this floor.
+ */
+inline constexpr double kMinLeff = 0.3;
+
 /** Critical-path population parameters. */
 struct CritPathParams
 {
@@ -54,6 +62,14 @@ struct CritPathParams
 /**
  * Timing view of one manufactured core: effective (Vth, Leff) per
  * critical path, and fmax as a function of voltage and temperature.
+ *
+ * The population is stored structure-of-arrays — one contiguous Vth
+ * sweep and one contiguous Leff sweep — so maxDelay() can hand the
+ * whole population to the batched gateDelayBatch() kernel. The
+ * scalar element-by-element evaluation survives as
+ * maxDelayScalarRef(), the reference the batched path must agree
+ * with to <= 1e-12 relative (bit-identical today, since the batch
+ * kernel only hoists loop invariants).
  */
 class CoreTiming
 {
@@ -84,17 +100,36 @@ class CoreTiming
      */
     void shiftVth(double deltaV);
 
-    /** Worst (largest) path delay at the given operating point. */
+    /**
+     * Worst (largest) path delay at the given operating point,
+     * evaluated through the batched kernel.
+     */
     double maxDelay(double v, double tempC) const;
+
+    /**
+     * Scalar reference for maxDelay(): per-path gateDelay() calls,
+     * exactly the pre-SoA evaluation. Kept for the agreement tests;
+     * maxDelay() must match it within 1e-12 relative.
+     */
+    double maxDelayScalarRef(double v, double tempC) const;
 
     /** Maximum supported frequency (Hz) at the given operating point. */
     double fmax(double v, double tempC) const;
 
-    /** Path population (for tests / analysis). */
-    const std::vector<Path> &paths() const { return paths_; }
+    /** Number of critical paths. */
+    std::size_t numPaths() const { return vth_.size(); }
+
+    /** Path population materialised as AoS (for tests / analysis). */
+    std::vector<Path> paths() const;
+
+    /** Contiguous per-path Vth sweep (60 C values, volts). */
+    const std::vector<double> &pathVth() const { return vth_; }
+    /** Contiguous per-path normalised-Leff sweep. */
+    const std::vector<double> &pathLeff() const { return leff_; }
 
   private:
-    std::vector<Path> paths_;
+    std::vector<double> vth_;  ///< SoA: per-path Vth at 60 C.
+    std::vector<double> leff_; ///< SoA: per-path normalised Leff.
     DelayParams delayParams_;
     double delayScale_; ///< Converts relative delay to seconds.
 };

@@ -164,16 +164,35 @@ generateCholesky(std::size_t n, double phi, Rng &rng)
 }
 
 /**
- * Circulant-embedding generation (Dietrich & Newsam): embed the
- * covariance on a torus at least twice the grid size, diagonalise it
- * with the FFT, colour white noise with the square-root spectrum, and
- * crop the top-left n x n corner. Slightly negative eigenvalues from
- * an imperfect embedding are clamped and the output renormalised to
- * unit variance.
+ * The die-independent half of circulant-embedding generation: the
+ * embedding size, the square-root eigenvalue amplitudes (already
+ * scaled for the unnormalised inverse FFT), and the unit-variance
+ * rescale. Every die of a batch shares it, so it is cached keyed by
+ * (n, phi) like the Cholesky factors — this removes the covariance
+ * fill and the *forward* FFT from the per-die cost entirely.
  */
-FieldSample
-generateCirculant(std::size_t n, double phi, Rng &rng)
+struct CirculantSpectrum
 {
+    std::size_t m;           ///< Embedding torus side (power of two).
+    std::vector<double> amp; ///< Per-mode noise amplitude, m*m.
+    double rescale;          ///< Restores unit point variance.
+};
+
+std::mutex spectrumCacheMutex;
+std::map<std::pair<std::size_t, double>,
+         std::shared_ptr<const CirculantSpectrum>> spectrumCache;
+
+std::shared_ptr<const CirculantSpectrum>
+circulantSpectrum(std::size_t n, double phi)
+{
+    const std::pair<std::size_t, double> key{n, phi};
+    {
+        std::lock_guard<std::mutex> lock(spectrumCacheMutex);
+        const auto it = spectrumCache.find(key);
+        if (it != spectrumCache.end())
+            return it->second;
+    }
+
     const double step = n > 1 ? 1.0 / static_cast<double>(n - 1) : 1.0;
     // The torus must be wide enough that the min-image distance across
     // the wrap exceeds the correlation range phi for all cropped pairs.
@@ -193,21 +212,54 @@ generateCirculant(std::size_t n, double phi, Rng &rng)
 
     fft2d(spec, m, m, false);
 
-    // Colour complex white noise with sqrt of the (clamped) spectrum.
-    // Clamping slightly inflates the total variance, so rescale by the
-    // deterministic factor that restores unit point variance — this
+    // Slightly negative eigenvalues from an imperfect embedding are
+    // clamped; clamping inflates the total variance a little, so the
+    // deterministic rescale below restores unit point variance — this
     // preserves the natural die-to-die fluctuation of the sample
     // variance, unlike normalising by each sample's own stddev.
+    auto entry = std::make_shared<CirculantSpectrum>();
+    entry->m = m;
+    entry->amp.resize(m * m);
     const double invTot = 1.0 / static_cast<double>(m * m);
     double sumLambda = 0.0;
-    for (auto &v : spec) {
-        const double lambda = std::max(0.0, v.real());
+    for (std::size_t i = 0; i < m * m; ++i) {
+        const double lambda = std::max(0.0, spec[i].real());
         sumLambda += lambda;
-        const double amp = std::sqrt(lambda * invTot);
-        v = std::complex<double>(amp * rng.normal(), amp * rng.normal());
+        entry->amp[i] = std::sqrt(lambda * invTot);
     }
     const double pointVar = sumLambda * invTot;
-    const double rescale = pointVar > 1e-12 ? 1.0 / std::sqrt(pointVar) : 1.0;
+    entry->rescale =
+        pointVar > 1e-12 ? 1.0 / std::sqrt(pointVar) : 1.0;
+
+    std::lock_guard<std::mutex> lock(spectrumCacheMutex);
+    // Keep the first insertion if two threads raced on the same key.
+    return spectrumCache.emplace(key, std::move(entry)).first->second;
+}
+
+/**
+ * Circulant-embedding generation (Dietrich & Newsam): colour complex
+ * white noise with the cached square-root spectrum, inverse-transform,
+ * and crop the top-left n x n corner. The real and imaginary planes
+ * of the result are two *independent* unit-variance realisations of
+ * the same covariance (the classic Dietrich–Newsam two-for-one), so
+ * one synthesis yields a pair of fields; @p second may be null when
+ * only one is wanted.
+ */
+FieldSample
+generateCirculant(std::size_t n, double phi, Rng &rng,
+                  FieldSample *second = nullptr)
+{
+    const std::shared_ptr<const CirculantSpectrum> sp =
+        circulantSpectrum(n, phi);
+    const std::size_t m = sp->m;
+    const double rescale = sp->rescale;
+
+    std::vector<std::complex<double>> spec(m * m);
+    for (std::size_t i = 0; i < m * m; ++i) {
+        const double amp = sp->amp[i];
+        spec[i] =
+            std::complex<double>(amp * rng.normal(), amp * rng.normal());
+    }
 
     fft2d(spec, m, m, false);
 
@@ -215,6 +267,14 @@ generateCirculant(std::size_t n, double phi, Rng &rng)
     for (std::size_t r = 0; r < n; ++r)
         for (std::size_t c = 0; c < n; ++c)
             values[r * n + c] = spec[r * m + c].real() * rescale;
+
+    if (second != nullptr) {
+        std::vector<double> valuesB(n * n);
+        for (std::size_t r = 0; r < n; ++r)
+            for (std::size_t c = 0; c < n; ++c)
+                valuesB[r * n + c] = spec[r * m + c].imag() * rescale;
+        *second = FieldSample(n, std::move(valuesB));
+    }
 
     return FieldSample(n, std::move(values));
 }
@@ -252,8 +312,12 @@ struct FieldSampleKey
 struct FieldSampleEntry
 {
     FieldSample field;
+    FieldSample fieldB; ///< Second field of a pair entry; empty else.
     std::array<std::uint64_t, 6> rngAfter;
 };
+
+/** Key-space tag separating pair entries from single-field entries. */
+constexpr int kPairMethodBit = 0x100;
 
 constexpr std::size_t kFieldSampleCacheCap = 64;
 std::mutex sampleCacheMutex;
@@ -274,6 +338,20 @@ fieldFactorCacheSize()
 {
     std::lock_guard<std::mutex> lock(factorCacheMutex);
     return factorCache.size();
+}
+
+void
+clearFieldSpectrumCache()
+{
+    std::lock_guard<std::mutex> lock(spectrumCacheMutex);
+    spectrumCache.clear();
+}
+
+std::size_t
+fieldSpectrumCacheSize()
+{
+    std::lock_guard<std::mutex> lock(spectrumCacheMutex);
+    return spectrumCache.size();
 }
 
 void
@@ -322,7 +400,7 @@ generateField(std::size_t n, double phi, Rng &rng, FieldMethod method)
     std::lock_guard<std::mutex> lock(sampleCacheMutex);
     // Two threads may have raced on the same die; insert-once keeps
     // the FIFO order list consistent with the map.
-    if (sampleCache.emplace(key, FieldSampleEntry{field,
+    if (sampleCache.emplace(key, FieldSampleEntry{field, FieldSample{},
                                                   rng.captureState()})
             .second) {
         sampleCacheOrder.push_back(key);
@@ -332,6 +410,52 @@ generateField(std::size_t n, double phi, Rng &rng, FieldMethod method)
         }
     }
     return field;
+}
+
+void
+generateFieldPair(std::size_t n, double phi, Rng &rng, FieldMethod method,
+                  FieldSample &fieldA, FieldSample &fieldB)
+{
+    assert(n >= 2);
+    assert(phi > 0.0);
+
+    const FieldSampleKey key{rng.captureState(), n, phi,
+                             static_cast<int>(method) | kPairMethodBit};
+    {
+        std::lock_guard<std::mutex> lock(sampleCacheMutex);
+        const auto it = sampleCache.find(key);
+        if (it != sampleCache.end()) {
+            rng.restoreState(it->second.rngAfter);
+            fieldA = it->second.field;
+            fieldB = it->second.fieldB;
+            return;
+        }
+    }
+
+    switch (method) {
+      case FieldMethod::Cholesky:
+        // Exact path: two sequential draws, identical stream to two
+        // generateField() calls.
+        fieldA = generateCholesky(n, phi, rng);
+        fieldB = generateCholesky(n, phi, rng);
+        break;
+      case FieldMethod::CirculantFFT:
+      default:
+        // One synthesis, two independent realisations (Re and Im).
+        fieldA = generateCirculant(n, phi, rng, &fieldB);
+        break;
+    }
+
+    std::lock_guard<std::mutex> lock(sampleCacheMutex);
+    if (sampleCache.emplace(key, FieldSampleEntry{fieldA, fieldB,
+                                                  rng.captureState()})
+            .second) {
+        sampleCacheOrder.push_back(key);
+        if (sampleCacheOrder.size() > kFieldSampleCacheCap) {
+            sampleCache.erase(sampleCacheOrder.front());
+            sampleCacheOrder.pop_front();
+        }
+    }
 }
 
 } // namespace varsched

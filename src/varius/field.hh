@@ -86,6 +86,21 @@ FieldSample generateField(std::size_t n, double phi, Rng &rng,
                           FieldMethod method = FieldMethod::CirculantFFT);
 
 /**
+ * Generate two *independent* realisations in one call — the common
+ * case (every die needs a Vth and a Leff field).
+ *
+ * For the circulant back-end the pair costs one synthesis: the real
+ * and imaginary planes of the coloured-noise inverse transform are
+ * two independent unit-variance fields with the target covariance
+ * (Dietrich & Newsam), so @p fieldA takes Re and @p fieldB takes Im.
+ * For the Cholesky back-end this is exactly two sequential
+ * generateField() draws (bit-identical stream).
+ */
+void generateFieldPair(std::size_t n, double phi, Rng &rng,
+                       FieldMethod method, FieldSample &fieldA,
+                       FieldSample &fieldB);
+
+/**
  * The Cholesky back-end caches grid-covariance factors keyed by
  * (n, phi): the covariance is die-independent, so a 200-die batch
  * factors once. The cache is thread-safe and only ever holds a few
@@ -95,6 +110,17 @@ FieldSample generateField(std::size_t n, double phi, Rng &rng,
 void clearFieldFactorCache();
 /** Number of (n, phi) factors currently cached. */
 std::size_t fieldFactorCacheSize();
+
+/**
+ * The circulant back-end likewise caches the die-independent part of
+ * the synthesis — embedding size, square-root eigenvalue amplitudes,
+ * and the unit-variance rescale — keyed by (n, phi), so the per-die
+ * cost is one noise colouring plus one inverse FFT (the covariance
+ * fill and the forward FFT run once per batch).
+ */
+void clearFieldSpectrumCache();
+/** Number of (n, phi) circulant spectra currently cached. */
+std::size_t fieldSpectrumCacheSize();
 
 /**
  * generateField additionally memoises whole *samples*, keyed by the

@@ -50,10 +50,11 @@ generateVariationMap(const VariationParams &params, Rng &rng)
 {
     // Two independent unit fields; Leff is field A, and Vth partially
     // tracks it (the systematic Vth component depends on gate length).
-    FieldSample fieldA =
-        generateField(params.gridSize, params.phi, rng, params.method);
-    FieldSample fieldB =
-        generateField(params.gridSize, params.phi, rng, params.method);
+    // The pair call lets the circulant back-end synthesise both from
+    // one coloured-noise transform (Re/Im planes).
+    FieldSample fieldA, fieldB;
+    generateFieldPair(params.gridSize, params.phi, rng, params.method,
+                      fieldA, fieldB);
 
     const double corr = params.vthLeffCorrelation;
     assert(corr >= -1.0 && corr <= 1.0);

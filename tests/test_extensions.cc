@@ -118,7 +118,7 @@ TEST(ThermalSched, RotatesAsTemperaturesEvolve)
 
 TEST(ThermalSched, SystemRunSpreadsWearVsPinnedPolicy)
 {
-    const Die die(testParams(), 13);
+    const Die die(testParams(), 25);
     Rng rng(5);
     const auto apps = randomWorkload(6, rng);
 

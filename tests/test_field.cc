@@ -67,6 +67,45 @@ TEST(FieldSample, ClampsOutOfRangeQueries)
     EXPECT_NEAR(f.sample(2.0, 2.0), 4.0, 1e-12);
 }
 
+TEST(FieldSample, ClampsEachAxisIndependently)
+{
+    FieldSample f(2, {1.0, 2.0, 3.0, 4.0});
+    // x past either edge with y mid-span: interpolate along y only.
+    EXPECT_NEAR(f.sample(-0.5, 0.5), 2.0, 1e-12);
+    EXPECT_NEAR(f.sample(1.5, 0.5), 3.0, 1e-12);
+    // y past either edge with x mid-span: interpolate along x only.
+    EXPECT_NEAR(f.sample(0.5, -0.5), 1.5, 1e-12);
+    EXPECT_NEAR(f.sample(0.5, 1.5), 3.5, 1e-12);
+}
+
+TEST(FieldSample, BilinearWeightsOffCentre)
+{
+    FieldSample f(2, {1.0, 2.0, 3.0, 4.0});
+    // Hand-evaluated bilinear blend at (0.25, 0.75):
+    // (1-fx)(1-fy)v00 + fx(1-fy)v01 + (1-fx)fy v10 + fx fy v11
+    const double expected = 0.75 * 0.25 * 1.0 + 0.25 * 0.25 * 2.0 +
+        0.75 * 0.75 * 3.0 + 0.25 * 0.75 * 4.0;
+    EXPECT_NEAR(f.sample(0.25, 0.75), expected, 1e-12);
+}
+
+TEST(FieldSample, RecoversEveryGridPointExactly)
+{
+    // n = 4: interior grid points must round-trip through sample()
+    // exactly, not just the corners.
+    const std::size_t n = 4;
+    std::vector<double> values(n * n);
+    for (std::size_t i = 0; i < values.size(); ++i)
+        values[i] = 0.25 * static_cast<double>(i) - 1.0;
+    FieldSample f(n, values);
+    const double step = 1.0 / static_cast<double>(n - 1);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < n; ++c)
+            EXPECT_NEAR(f.sample(static_cast<double>(c) * step,
+                                 static_cast<double>(r) * step),
+                        f.at(r, c), 1e-12)
+                << "grid point (" << r << ", " << c << ")";
+}
+
 TEST(Field, CholeskyUnitVarianceAcrossDies)
 {
     // Pool many small dies: point variance should be ~1.

@@ -62,6 +62,46 @@ TEST(FieldExport, UsesFullGreyscaleRange)
     std::remove(path.c_str());
 }
 
+TEST(FieldExport, RoundTripsPixelValues)
+{
+    // Small field with known values: every payload byte must equal the
+    // min-max scaled source value, with the documented vertical flip
+    // (payload row 0 is the top of the image = last grid row).
+    const std::size_t n = 3;
+    const std::vector<double> values = {
+        -1.0, 0.0, 1.0, //
+        2.0, -0.5, 0.5, //
+        1.5, 3.0, -1.0,
+    };
+    FieldSample field(n, values);
+    const std::string path = "/tmp/varsched_test_field_rt.pgm";
+    ASSERT_TRUE(field.writePgm(path));
+
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    std::string magic;
+    std::size_t w = 0, h = 0;
+    int maxval = 0;
+    in >> magic >> w >> h >> maxval;
+    in.get();
+    std::string payload((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    ASSERT_EQ(payload.size(), n * n);
+
+    const double lo = -1.0, hi = 3.0;
+    for (std::size_t r = 0; r < n; ++r) {
+        const std::size_t src = n - 1 - r;
+        for (std::size_t c = 0; c < n; ++c) {
+            const auto expected = static_cast<unsigned char>(
+                255.0 * (field.at(src, c) - lo) / (hi - lo));
+            EXPECT_EQ(
+                static_cast<unsigned char>(payload[r * n + c]), expected)
+                << "payload row " << r << " col " << c;
+        }
+    }
+    std::remove(path.c_str());
+}
+
 TEST(FieldExport, RejectsUnwritablePath)
 {
     Rng rng(11);

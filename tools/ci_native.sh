@@ -1,0 +1,14 @@
+#!/bin/sh
+# CI-style smoke of the VARSCHED_NATIVE configuration: configure a
+# separate host-tuned build, build it, and run the fast test tiers
+# (unit tests + bench smokes). Keeps the default build directory
+# untouched. Usage:
+#   tools/ci_native.sh [build-dir]        # default: build-native
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build=${1:-"$repo/build-native"}
+
+cmake -B "$build" -S "$repo" -DVARSCHED_NATIVE=ON
+cmake --build "$build" -j
+ctest --test-dir "$build" --output-on-failure -j

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Wall-time diff of two BENCH_*.json perf-trajectory files (the
+ * format bench/common.hh emits — a JSON array, one object per line).
+ *
+ *   compare_bench_json OLD.json NEW.json [--informational]
+ *
+ * For every bench present in both files the tool compares the
+ * parallel_s wall time and flags a regression when the new time
+ * exceeds the old by more than 15%. Benches present in only one file
+ * are reported but never fail the comparison (the bench set grows
+ * PR over PR).
+ *
+ * Exit codes: 0 when no bench regressed, 1 on a regression (or a
+ * malformed/unreadable input), and 2 instead of 1 under
+ * --informational — wired to SKIP_RETURN_CODE in CTest so the
+ * trajectory check annotates the run without gating it (the smoke
+ * runs execute at tiny batch sizes, where wall times mostly measure
+ * process startup).
+ */
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace
+{
+
+constexpr double kRegressionSlack = 1.15; // >15% slower == regression
+
+/** Value of "key" in a one-line JSON object; empty when absent. */
+std::string
+rawValue(const std::string &object, const std::string &key)
+{
+    const std::string needle = "\"" + key + "\":";
+    const std::size_t at = object.find(needle);
+    if (at == std::string::npos)
+        return "";
+    std::size_t from = at + needle.size();
+    while (from < object.size() && std::isspace(
+               static_cast<unsigned char>(object[from])))
+        ++from;
+    std::size_t to = from;
+    if (to < object.size() && object[to] == '"') {
+        to = object.find('"', to + 1);
+        if (to == std::string::npos)
+            return "";
+        ++to;
+    } else {
+        while (to < object.size() && object[to] != ',' &&
+               object[to] != '}')
+            ++to;
+        while (to > from && std::isspace(
+                   static_cast<unsigned char>(object[to - 1])))
+            --to;
+    }
+    return object.substr(from, to - from);
+}
+
+/** bench name (unquoted) -> parallel_s, from one BENCH_*.json. */
+bool
+loadWallTimes(const char *path, std::map<std::string, double> &out)
+{
+    std::FILE *in = std::fopen(path, "r");
+    if (in == nullptr) {
+        std::fprintf(stderr, "cannot open %s\n", path);
+        return false;
+    }
+    char line[2048];
+    while (std::fgets(line, sizeof line, in)) {
+        const std::string s(line);
+        if (s.find('{') == std::string::npos)
+            continue;
+        std::string bench = rawValue(s, "bench");
+        if (bench.size() < 3 || bench.front() != '"' ||
+            bench.back() != '"') {
+            std::fprintf(stderr, "%s: entry without a bench name\n",
+                         path);
+            std::fclose(in);
+            return false;
+        }
+        bench = bench.substr(1, bench.size() - 2);
+        const std::string wall = rawValue(s, "parallel_s");
+        char *end = nullptr;
+        const double v = std::strtod(wall.c_str(), &end);
+        if (wall.empty() || end == nullptr || *end != '\0' || v < 0.0) {
+            std::fprintf(stderr, "%s: %s has no parallel_s\n", path,
+                         bench.c_str());
+            std::fclose(in);
+            return false;
+        }
+        out[bench] = v;
+    }
+    std::fclose(in);
+    if (out.empty()) {
+        std::fprintf(stderr, "%s has no bench entries\n", path);
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool informational = false;
+    std::vector<const char *> paths;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--informational") == 0)
+            informational = true;
+        else
+            paths.push_back(argv[i]);
+    }
+    const int failCode = informational ? 2 : 1;
+    if (paths.size() != 2) {
+        std::fprintf(stderr,
+                     "usage: compare_bench_json OLD.json NEW.json "
+                     "[--informational]\n");
+        return failCode;
+    }
+
+    std::map<std::string, double> before, after;
+    if (!loadWallTimes(paths[0], before) ||
+        !loadWallTimes(paths[1], after))
+        return failCode;
+
+    std::printf("%-32s %12s %12s %8s\n", "bench", "old (s)", "new (s)",
+                "ratio");
+    std::vector<std::string> regressed;
+    for (const auto &[bench, newWall] : after) {
+        const auto it = before.find(bench);
+        if (it == before.end()) {
+            std::printf("%-32s %12s %12.3f %8s\n", bench.c_str(), "-",
+                        newWall, "new");
+            continue;
+        }
+        const double oldWall = it->second;
+        const double ratio = oldWall > 0.0 ? newWall / oldWall : 0.0;
+        const bool bad = oldWall > 0.0 && ratio > kRegressionSlack;
+        std::printf("%-32s %12.3f %12.3f %7.2fx%s\n", bench.c_str(),
+                    oldWall, newWall, ratio, bad ? "  <-- regression"
+                                                : "");
+        if (bad)
+            regressed.push_back(bench);
+    }
+    for (const auto &[bench, oldWall] : before) {
+        if (after.find(bench) == after.end())
+            std::printf("%-32s %12.3f %12s %8s\n", bench.c_str(),
+                        oldWall, "-", "gone");
+    }
+
+    if (!regressed.empty()) {
+        std::fprintf(stderr, "\n%zu bench(es) regressed >%.0f%%:\n",
+                     regressed.size(),
+                     (kRegressionSlack - 1.0) * 100.0);
+        for (const std::string &b : regressed)
+            std::fprintf(stderr, "  %s\n", b.c_str());
+        return failCode;
+    }
+    std::printf("\nno bench regressed more than %.0f%%\n",
+                (kRegressionSlack - 1.0) * 100.0);
+    return 0;
+}

@@ -1,6 +1,6 @@
 /**
  * @file
- * Schema validator for BENCH_PR3.json, the per-bench perf-trajectory
+ * Schema validator for BENCH_PR5.json, the per-bench perf-trajectory
  * record the bench binaries emit (see bench/common.hh). Used by the
  * bench_smoke CTest label: after every bench has run at tiny batch
  * sizes, this tool checks the merged file so a malformed emitter
@@ -15,6 +15,9 @@
  *   physics_s      number >= 0 (chip-evaluation seconds)
  *   pm_s           number >= 0 (power-manager seconds)
  *   sched_s        number >= 0 (scheduler seconds)
+ *   mfg_s          number >= 0 (die-manufacture seconds), or null;
+ *                  must be non-null for the die-population benches
+ *                  (they route their lots through runDies())
  *   cg_free_thermal  true
  *
  * Exit 0 when every entry conforms (and at least one exists).
@@ -119,6 +122,21 @@ validateEntry(std::size_t index, const std::string &object,
     if (!isNumber(rawValue(object, "sched_s"), false, true))
         return fail(index, "\"sched_s\" must be a number >= 0");
 
+    // Die-manufacture phase (PR 5+ entries): null for benches that
+    // never run a die population, required for the four that do.
+    if (!isNumber(rawValue(object, "mfg_s"), true, true))
+        return fail(index, "\"mfg_s\" must be a number >= 0 or null");
+    static const std::set<std::string> diePopulationBenches = {
+        "\"bench_ext_yield\"",
+        "\"bench_fig04_variation\"",
+        "\"bench_fig05_sigma_sweep\"",
+        "\"bench_ext_abb\"",
+    };
+    if (diePopulationBenches.count(bench) != 0 &&
+        rawValue(object, "mfg_s") == "null")
+        return fail(index, "\"mfg_s\" must be non-null for "
+                           "die-population benches");
+
     if (rawValue(object, "cg_free_thermal") != "true")
         return fail(index, "\"cg_free_thermal\" must be true");
     return true;
@@ -129,7 +147,7 @@ validateEntry(std::size_t index, const std::string &object,
 int
 main(int argc, char **argv)
 {
-    const char *path = argc > 1 ? argv[1] : "BENCH_PR3.json";
+    const char *path = argc > 1 ? argv[1] : "BENCH_PR5.json";
     std::FILE *in = std::fopen(path, "r");
     if (in == nullptr) {
         std::fprintf(stderr, "cannot open %s\n", path);
