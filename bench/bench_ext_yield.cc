@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "bench/common.hh"
+#include "bench/gridpoints.hh"
 #include "chip/die.hh"
 #include "solver/stats.hh"
 
@@ -19,15 +20,6 @@ using namespace varsched;
 
 namespace
 {
-
-/** Per-die yield inputs; folded in die order after the fan-out. */
-struct DieYield
-{
-    double clockHz = 0.0;
-    double staticW = 0.0;
-
-    bool operator==(const DieYield &) const = default;
-};
 
 /** Fraction of the lot whose UniFreq clock meets each target. */
 void
@@ -41,18 +33,14 @@ yieldRow(bench::PerfRecorder &perf, double sigma, double abb,
 
     const auto dies = perf.runDies(
         params, seeds, [](const Die &die, std::size_t) {
-            DieYield y;
-            y.clockHz = die.uniformFreq();
-            for (std::size_t c = 0; c < die.numCores(); ++c)
-                y.staticW += die.staticPowerAt(c, die.maxLevel());
-            return y;
+            return bench::dieYield(die);
         });
 
     const std::size_t lot = seeds.size();
     std::vector<std::size_t> meets(targetsGHz.size(), 0);
     std::size_t powerOk = 0;
     Summary clock;
-    for (const DieYield &y : dies) {
+    for (const bench::DieYield &y : dies) {
         clock.add(y.clockHz);
         const bool power = y.staticW <= powerLimitW;
         powerOk += power;

@@ -12,61 +12,11 @@
 #include <cstdio>
 
 #include "bench/common.hh"
+#include "bench/gridpoints.hh"
 #include "chip/sensors.hh"
 #include "solver/stats.hh"
 
 using namespace varsched;
-
-namespace
-{
-
-/** Per-die max/min ratios; folded in die order after the fan-out. */
-struct DieRatios
-{
-    double power = 0.0;
-    double freq = 0.0;
-
-    bool operator==(const DieRatios &) const = default;
-};
-
-/**
- * Average power of each core across the application pool, with every
- * core at the top voltage level (Section 7.1 protocol), settled
- * through the thermal fixed point one core at a time.
- */
-void
-coreRatios(const Die &die, double &powerRatio, double &freqRatio)
-{
-    ChipEvaluator evaluator(die);
-    const auto &apps = specApplications();
-    const std::size_t n = die.numCores();
-
-    double pMin = 1e300, pMax = 0.0;
-    for (std::size_t c = 0; c < n; ++c) {
-        double sum = 0.0;
-        for (const auto &app : apps) {
-            std::vector<CoreWork> work(n);
-            work[c].app = &app;
-            std::vector<int> levels(n,
-                                    static_cast<int>(die.maxLevel()));
-            const auto cond = evaluator.evaluate(work, levels);
-            sum += cond.corePowerW[c];
-        }
-        const double avg = sum / static_cast<double>(apps.size());
-        pMin = std::min(pMin, avg);
-        pMax = std::max(pMax, avg);
-    }
-    powerRatio = pMax / pMin;
-
-    double fMin = 1e300, fMax = 0.0;
-    for (std::size_t c = 0; c < n; ++c) {
-        fMin = std::min(fMin, die.maxFreq(c));
-        fMax = std::max(fMax, die.maxFreq(c));
-    }
-    freqRatio = fMax / fMin;
-}
-
-} // namespace
 
 int
 main()
@@ -88,11 +38,9 @@ main()
     const auto ratios = perf.runDies(
         params, diePopulationSeeds(numDies, 2026),
         [](const Die &die, std::size_t) {
-            DieRatios r;
-            coreRatios(die, r.power, r.freq);
-            return r;
+            return bench::coreRatios(die);
         });
-    for (const DieRatios &r : ratios) {
+    for (const bench::DieRatios &r : ratios) {
         powerHist.add(r.power);
         freqHist.add(r.freq);
         powerSummary.add(r.power);

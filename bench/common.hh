@@ -35,6 +35,7 @@
 
 #include "core/experiment.hh"
 #include "runtime/diepop.hh"
+#include "runtime/orchestrator.hh"
 #include "runtime/threadpool.hh"
 
 namespace varsched::bench
@@ -248,6 +249,15 @@ class PerfRecorder
      * concurrently (ctest -j, parallel make targets) interleave their
      * read and rename steps and silently drop each other's entries —
      * exactly how BENCH_PR2.json ended up with 1 of 24 benches.
+     *
+     * A truncated or otherwise corrupt existing file (e.g. a bench
+     * killed mid-write on a filesystem where rename is not atomic, or
+     * a stray editor) used to poison every later merge; now the bad
+     * file is quarantined to `<path>.corrupt` and the record starts
+     * fresh from this entry. On a successful merge the `.lock`
+     * sidecar is unlinked again — acquireSidecarLock re-verifies the
+     * inode it locked, so dropping the file is race-free and crashed
+     * runs leave no lock litter behind.
      */
     void
     mergeJson(const std::string &entry) const
@@ -255,13 +265,10 @@ class PerfRecorder
         const char *env = std::getenv("VARSCHED_BENCH_JSON");
         const std::string path = env ? env : "BENCH_PR5.json";
 
-        const std::string lockPath = path + ".lock";
-        const int lockFd =
-            ::open(lockPath.c_str(), O_CREAT | O_RDWR, 0644);
-        if (lockFd >= 0)
-            ::flock(lockFd, LOCK_EX); // blocks until the peer is done
+        const int lockFd = acquireSidecarLock(path);
 
         std::vector<std::string> kept;
+        bool corrupt = false;
         if (std::FILE *in = std::fopen(path.c_str(), "r")) {
             char line[1024];
             const std::string marker =
@@ -272,30 +279,52 @@ class PerfRecorder
                        (s.back() == '\n' || s.back() == '\r' ||
                         s.back() == ','))
                     s.pop_back();
-                if (s.empty() || s.find('{') == std::string::npos)
-                    continue; // brackets / blank lines
+                while (!s.empty() && s.back() == ' ')
+                    s.pop_back();
+                if (s.empty())
+                    continue;
+                const std::size_t brace = s.find('{');
+                if (brace == std::string::npos) {
+                    // Only the array brackets may appear alone.
+                    if (s != "[" && s != "]")
+                        corrupt = true;
+                    continue;
+                }
+                if (s.back() != '}') {
+                    corrupt = true; // truncated mid-entry
+                    continue;
+                }
                 if (s.find(marker) != std::string::npos)
                     continue; // stale entry for this bench
-                const std::size_t brace = s.find('{');
                 kept.push_back(s.substr(brace));
             }
+            if (std::ferror(in) || std::feof(in) == 0)
+                corrupt = true; // oversized line: not our format
             std::fclose(in);
+        }
+        if (corrupt) {
+            // Quarantine the unparseable file and start fresh rather
+            // than dragging half-trusted entries forward.
+            const std::string quarantine = path + ".corrupt";
+            std::rename(path.c_str(), quarantine.c_str());
+            std::fprintf(stderr,
+                         "%s: %s was corrupt; quarantined to %s\n",
+                         name_.c_str(), path.c_str(),
+                         quarantine.c_str());
+            kept.clear();
         }
         kept.push_back(entry);
 
-        const std::string tmp =
-            path + ".tmp." + std::to_string(::getpid());
-        if (std::FILE *out = std::fopen(tmp.c_str(), "w")) {
-            std::fprintf(out, "[\n");
-            for (std::size_t i = 0; i < kept.size(); ++i)
-                std::fprintf(out, "  %s%s\n", kept[i].c_str(),
-                             i + 1 < kept.size() ? "," : "");
-            std::fprintf(out, "]\n");
-            std::fclose(out);
-            std::rename(tmp.c_str(), path.c_str());
+        std::string out = "[\n";
+        for (std::size_t i = 0; i < kept.size(); ++i) {
+            out += "  " + kept[i];
+            out += i + 1 < kept.size() ? ",\n" : "\n";
         }
-        if (lockFd >= 0)
-            ::close(lockFd); // releases the flock
+        out += "]\n";
+        if (atomicWriteFile(path, out))
+            releaseSidecarLock(lockFd, path, /*unlinkStale=*/true);
+        else
+            releaseSidecarLock(lockFd, path, /*unlinkStale=*/false);
     }
 
     std::string name_;

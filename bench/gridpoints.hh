@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Shared per-die grid-point evaluators for the manufacture-bound
+ * studies: the Fig 4/5 max/min core power and frequency ratios and
+ * the frequency-binning yield statistic. One definition serves both
+ * the hand-wired bench binaries (bench_fig04_variation,
+ * bench_fig05_sigma_sweep, bench_ext_yield) and the varsched_sweep
+ * orchestrator's declarative grids, so a sweep task computes exactly
+ * what the bench prints — the orchestrated grid is the bench, fanned
+ * across processes.
+ */
+
+#ifndef VARSCHED_BENCH_GRIDPOINTS_HH
+#define VARSCHED_BENCH_GRIDPOINTS_HH
+
+#include <algorithm>
+#include <vector>
+
+#include "chip/die.hh"
+#include "chip/sensors.hh"
+#include "cmpsim/workload.hh"
+
+namespace varsched::bench
+{
+
+/** Per-die max/min ratios; folded in die order after the fan-out. */
+struct DieRatios
+{
+    double power = 0.0;
+    double freq = 0.0;
+
+    bool operator==(const DieRatios &) const = default;
+};
+
+/**
+ * Fig 4/5 protocol (Section 7.1): average power of each core across
+ * the application pool with every core at the top voltage level,
+ * settled through the thermal fixed point one core at a time; the
+ * ratios are max/min over cores of that average power and of the
+ * per-core maximum frequency.
+ */
+inline DieRatios
+coreRatios(const Die &die)
+{
+    ChipEvaluator evaluator(die);
+    const auto &apps = specApplications();
+    const std::size_t n = die.numCores();
+    DieRatios out;
+
+    double pMin = 1e300, pMax = 0.0;
+    for (std::size_t c = 0; c < n; ++c) {
+        double sum = 0.0;
+        for (const auto &app : apps) {
+            std::vector<CoreWork> work(n);
+            work[c].app = &app;
+            std::vector<int> levels(n,
+                                    static_cast<int>(die.maxLevel()));
+            sum += evaluator.evaluate(work, levels).corePowerW[c];
+        }
+        const double avg = sum / static_cast<double>(apps.size());
+        pMin = std::min(pMin, avg);
+        pMax = std::max(pMax, avg);
+    }
+    out.power = pMax / pMin;
+
+    double fMin = 1e300, fMax = 0.0;
+    for (std::size_t c = 0; c < n; ++c) {
+        fMin = std::min(fMin, die.maxFreq(c));
+        fMax = std::max(fMax, die.maxFreq(c));
+    }
+    out.freq = fMax / fMin;
+    return out;
+}
+
+/** Per-die yield inputs; folded in die order after the fan-out. */
+struct DieYield
+{
+    double clockHz = 0.0;
+    double staticW = 0.0;
+
+    bool operator==(const DieYield &) const = default;
+};
+
+/** UniFreq clock and full-throttle static power of one die. */
+inline DieYield
+dieYield(const Die &die)
+{
+    DieYield y;
+    y.clockHz = die.uniformFreq();
+    for (std::size_t c = 0; c < die.numCores(); ++c)
+        y.staticW += die.staticPowerAt(c, die.maxLevel());
+    return y;
+}
+
+} // namespace varsched::bench
+
+#endif // VARSCHED_BENCH_GRIDPOINTS_HH

@@ -10,9 +10,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
+#include <functional>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
+#include <vector>
 
 #include "core/experiment.hh"
 #include "core/system.hh"
@@ -64,6 +69,104 @@ TEST(ThreadPool, ShutdownDrainsQueuedTasks)
         // Destructor must run every queued task before joining.
     }
     EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, TasksSubmittedDuringShutdownStillRun)
+{
+    // A task that enqueues follow-up work races the destructor: by
+    // the time the inner submit() runs, stopping_ may already be set.
+    // The drain-then-join contract still owes us every link of the
+    // chain, because workers only exit on an *empty* queue.
+    std::atomic<int> ran{0};
+    {
+        // chain outlives pool (declared first), because the joining
+        // destructor still runs tasks that call into it.
+        std::function<void(int)> chain;
+        ThreadPool pool(1);
+        // Single worker: the chain tasks are enqueued strictly after
+        // the destructor has begun waiting to join.
+        chain = [&](int depth) {
+            ++ran;
+            if (depth > 0)
+                pool.submit([&chain, depth]() { chain(depth - 1); });
+        };
+        pool.submit([&chain]() {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(20));
+            chain(8);
+        });
+        // Destructor runs here, while the chain is still growing.
+    }
+    EXPECT_EQ(ran.load(), 9);
+}
+
+TEST(ThreadPool, ExceptionDoesNotWedgeBlockedSubmitters)
+{
+    // While one task throws, other threads are blocked in submit()
+    // contending for the queue mutex. The throw must neither poison
+    // the lock nor kill the worker: every concurrently submitted
+    // task still runs and every future becomes ready.
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    std::atomic<bool> go{false};
+
+    auto bad = pool.submit([&go]() -> int {
+        while (!go.load())
+            std::this_thread::yield();
+        throw std::runtime_error("mid-flight failure");
+    });
+
+    std::vector<std::thread> submitters;
+    std::vector<std::future<int>> futures(24);
+    std::mutex futuresMutex;
+    for (int s = 0; s < 4; ++s) {
+        submitters.emplace_back([&, s]() {
+            for (int i = 0; i < 6; ++i) {
+                auto f = pool.submit([&ran]() {
+                    ++ran;
+                    return 1;
+                });
+                std::lock_guard<std::mutex> lock(futuresMutex);
+                futures[s * 6 + i] = std::move(f);
+            }
+        });
+    }
+    go = true;
+    for (auto &t : submitters)
+        t.join();
+
+    EXPECT_THROW(bad.get(), std::runtime_error);
+    for (auto &f : futures) {
+        ASSERT_TRUE(f.valid());
+        EXPECT_EQ(f.get(), 1);
+    }
+    EXPECT_EQ(ran.load(), 24);
+}
+
+TEST(ThreadPool, DestructorLeavesPendingFuturesReady)
+{
+    // Futures may outlive the pool. The destructor drains the queue,
+    // so after it returns every future is ready — values and
+    // exceptions alike — and get() never blocks or crashes on a
+    // dangling pool.
+    std::vector<std::future<int>> futures;
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 32; ++i)
+            futures.push_back(pool.submit([i]() -> int {
+                if (i % 8 == 3)
+                    throw std::domain_error("planned");
+                return i;
+            }));
+        // None of the futures were waited on; destructor drains.
+    }
+    for (int i = 0; i < 32; ++i) {
+        ASSERT_TRUE(futures[i].valid());
+        if (i % 8 == 3)
+            EXPECT_THROW(futures[i].get(), std::domain_error);
+        else
+            EXPECT_EQ(futures[i].get(), i);
+    }
 }
 
 TEST(ThreadPool, ParallelForCoversEveryIndexOnce)

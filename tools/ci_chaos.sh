@@ -1,0 +1,17 @@
+#!/bin/sh
+# CI-style chaos gate: configure a separate Address+UB-sanitizer build
+# (VARSCHED_SANITIZE) and run the chaos_smoke ctest label against it —
+# the kill-the-worker / kill-the-orchestrator end-to-end from
+# tools/sweep_chaos_test.sh. Running the chaos schedule under ASan
+# means a worker that crashes or is killed mid-write must not leak or
+# scribble in the orchestrator either. Keeps the default build
+# directory untouched. Usage:
+#   tools/ci_chaos.sh [build-dir]         # default: build-asan
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build=${1:-"$repo/build-asan"}
+
+cmake -B "$build" -S "$repo" -DVARSCHED_SANITIZE=ON
+cmake --build "$build" -j --target varsched_sweep
+ctest --test-dir "$build" --output-on-failure -L chaos_smoke

@@ -22,6 +22,7 @@
 
 #include "core/experiment.hh"
 #include "core/system.hh"
+#include "runtime/orchestrator.hh"
 
 using namespace varsched;
 
@@ -285,6 +286,11 @@ main(int argc, char **argv)
     if (!parseArgs(argc, argv, opt))
         return 1;
 
+    // SIGINT/SIGTERM set a flag instead of killing the process
+    // mid-write: the CSV loop below checks it between runs and
+    // flushes the rows already computed before exiting.
+    installStopSignalHandlers();
+
     BatchConfig batch;
     batch.numDies = opt.dies;
     batch.numTrials = opt.trials;
@@ -326,19 +332,28 @@ main(int argc, char **argv)
 
     if (!opt.csvPath.empty()) {
         // Re-run the main configuration per (die, trial) to emit raw
-        // rows (runBatch aggregates; the CSV wants samples).
-        std::FILE *csv = std::fopen(opt.csvPath.c_str(), "w");
+        // rows (runBatch aggregates; the CSV wants samples). The rows
+        // accumulate in a temp file that is renamed into place on
+        // exit — including an interrupted exit — so readers never see
+        // a row torn mid-write and a Ctrl-C keeps everything computed
+        // so far.
+        const std::string tmpPath =
+            opt.csvPath + ".tmp." + std::to_string(::getpid());
+        std::FILE *csv = std::fopen(tmpPath.c_str(), "w");
         if (csv == nullptr) {
-            std::fprintf(stderr, "cannot open %s\n",
-                         opt.csvPath.c_str());
+            std::fprintf(stderr, "cannot open %s\n", tmpPath.c_str());
             return 1;
         }
         std::fprintf(csv,
                      "die,trial,mips,weighted,power_w,freq_hz,ed2,"
                      "deviation,worst_aging,lifetime_years\n");
-        for (std::size_t d = 0; d < batch.numDies; ++d) {
+        std::size_t rows = 0;
+        for (std::size_t d = 0;
+             d < batch.numDies && !orchestratorStopRequested(); ++d) {
             const Die die(batch.dieParams, dieSeedFor(batch, d));
-            for (std::size_t t = 0; t < batch.numTrials; ++t) {
+            for (std::size_t t = 0;
+                 t < batch.numTrials && !orchestratorStopRequested();
+                 ++t) {
                 Rng workloadRng = workloadRngFor(batch, d, t);
                 const auto apps =
                     randomWorkload(opt.threads, workloadRng);
@@ -353,12 +368,24 @@ main(int argc, char **argv)
                              r.avgPowerW, r.avgFreqHz, r.ed2,
                              r.powerDeviation, r.worstAgingRate,
                              r.projectedLifetimeYears);
+                ++rows;
             }
         }
+        std::fflush(csv);
         std::fclose(csv);
-        std::printf("\nwrote %zu rows to %s\n",
-                    batch.numDies * batch.numTrials,
-                    opt.csvPath.c_str());
+        if (std::rename(tmpPath.c_str(), opt.csvPath.c_str()) != 0) {
+            std::fprintf(stderr, "cannot rename %s to %s\n",
+                         tmpPath.c_str(), opt.csvPath.c_str());
+            return 1;
+        }
+        const std::size_t all = batch.numDies * batch.numTrials;
+        if (rows < all)
+            std::printf("\ninterrupted — flushed %zu of %zu rows to "
+                        "%s\n",
+                        rows, all, opt.csvPath.c_str());
+        else
+            std::printf("\nwrote %zu rows to %s\n", rows,
+                        opt.csvPath.c_str());
     }
-    return 0;
+    return orchestratorStopRequested() ? 130 : 0;
 }
