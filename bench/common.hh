@@ -153,11 +153,26 @@ class PerfRecorder
     {
         const double t0 = nowSeconds();
         BatchResult result = runBatch(batch, numThreads, configs);
-        parallelSec_ += nowSeconds() - t0;
+        const double wall = nowSeconds() - t0;
+        parallelSec_ += wall;
         ranBatch_ = true;
-        physicsSec_ += result.physicsSec;
-        pmSec_ += result.pmSec;
-        schedSec_ += result.schedSec;
+
+        // The per-run phase counters are CPU seconds summed across
+        // workers, so on an N-thread batch their total can exceed the
+        // batch's wall time N-fold. Record the raw CPU sums, and also
+        // attribute each phase a share of this batch's wall clock
+        // proportional to its CPU share (scale == 1 on serial runs,
+        // where the phases are disjoint slices of the wall).
+        physicsCpuSec_ += result.physicsSec;
+        pmCpuSec_ += result.pmSec;
+        schedCpuSec_ += result.schedSec;
+        const double cpuTotal =
+            result.physicsSec + result.pmSec + result.schedSec;
+        const double scale =
+            cpuTotal > wall && cpuTotal > 0.0 ? wall / cpuTotal : 1.0;
+        physicsSec_ += result.physicsSec * scale;
+        pmSec_ += result.pmSec * scale;
+        schedSec_ += result.schedSec * scale;
 
         if (compare_) {
             BatchConfig serial = batch;
@@ -224,16 +239,19 @@ class PerfRecorder
             std::snprintf(mfg, sizeof mfg, "%.6f", mfgSec_);
         else
             std::snprintf(mfg, sizeof mfg, "null");
-        char entry[768];
+        char entry[1024];
         std::snprintf(
             entry, sizeof entry,
             "{\"bench\": \"%s\", \"threads\": %zu, "
             "\"parallel_s\": %.6f, \"serial_s\": %s, "
             "\"speedup\": %s, \"physics_s\": %.6f, "
             "\"pm_s\": %.6f, \"sched_s\": %.6f, "
+            "\"physics_cpu_s\": %.6f, \"pm_cpu_s\": %.6f, "
+            "\"sched_cpu_s\": %.6f, "
             "\"mfg_s\": %s, \"cg_free_thermal\": true}",
             name_.c_str(), configuredThreads(), parallel, serial,
-            speedup, physicsSec_, pmSec_, schedSec_, mfg);
+            speedup, physicsSec_, pmSec_, schedSec_, physicsCpuSec_,
+            pmCpuSec_, schedCpuSec_, mfg);
         mergeJson(entry);
     }
 
@@ -336,10 +354,15 @@ class PerfRecorder
     double parallelSec_ = 0.0;
     double serialSec_ = 0.0;
     double mfgSec_ = 0.0;
-    // Phase breakdown summed from the primary (parallel) runs.
+    // Phase breakdown from the primary (parallel) runs: wall-clock
+    // attribution (each batch's wall split by CPU share, so the three
+    // never sum past parallel_s) and the raw cross-thread CPU sums.
     double physicsSec_ = 0.0;
     double pmSec_ = 0.0;
     double schedSec_ = 0.0;
+    double physicsCpuSec_ = 0.0;
+    double pmCpuSec_ = 0.0;
+    double schedCpuSec_ = 0.0;
 };
 
 } // namespace varsched::bench

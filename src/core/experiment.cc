@@ -98,17 +98,26 @@ runBatch(const BatchConfig &batch, std::size_t numThreads,
         // pure function of its derived seed), then fan the
         // (die, trial) tuples out over the pool. Dies are read-only
         // during the tuple phase, so sharing them is race-free.
+        // Grain 1 for both sweeps: dies and tuples are milliseconds-
+        // heavy, so per-index chunks let the work-stealing deques
+        // balance them.
         ThreadPool pool(workers);
         std::vector<std::optional<Die>> dies(batch.numDies);
-        pool.parallelFor(batch.numDies, [&](std::size_t d) {
-            dies[d].emplace(batch.dieParams, dieSeedFor(batch, d));
-        });
-        pool.parallelFor(numTuples, [&](std::size_t i) {
-            const std::size_t d = i / batch.numTrials;
-            const std::size_t t = i % batch.numTrials;
-            tuples[i] =
-                runTuple(batch, *dies[d], d, t, numThreads, configs);
-        });
+        pool.parallelFor(
+            batch.numDies,
+            [&](std::size_t d) {
+                dies[d].emplace(batch.dieParams, dieSeedFor(batch, d));
+            },
+            1);
+        pool.parallelFor(
+            numTuples,
+            [&](std::size_t i) {
+                const std::size_t d = i / batch.numTrials;
+                const std::size_t t = i % batch.numTrials;
+                tuples[i] =
+                    runTuple(batch, *dies[d], d, t, numThreads, configs);
+            },
+            1);
     }
 
     // Ordered reduction: always serial tuple order, independent of

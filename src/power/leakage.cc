@@ -1,5 +1,7 @@
 #include "power/leakage.hh"
 
+#include "runtime/simd.hh"
+
 #include <cassert>
 #include <cmath>
 
@@ -107,15 +109,21 @@ LeakageModel::corePowerSampled(const std::vector<double> &vthSamples,
     const double pref = norm_ * v * tK * tK;
 
     static thread_local std::vector<double> args;
+    static thread_local std::vector<double> expValues;
     args.resize(n);
+    expValues.resize(n);
     const double *vthData = vthSamples.data();
     for (std::size_t i = 0; i < n; ++i) {
         const double vth = (vthData[i] + vthShift) - dVth;
         args[i] = (-vth + dibl) / nvt;
     }
+    // simd::expSweep's scalar fallback is the same std::exp loop this
+    // fold always ran, and the single-accumulator summation order is
+    // unchanged either way.
+    simd::expSweep(args.data(), expValues.data(), n);
     double sum = 0.0;
     for (std::size_t i = 0; i < n; ++i)
-        sum += pref * std::exp(args[i]);
+        sum += pref * expValues[i];
     const double subthreshold =
         randomBoost * sum / static_cast<double>(n);
 

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "chip/die.hh"
+#include "runtime/arena.hh"
 #include "runtime/threadpool.hh"
 #include "solver/rng.hh"
 
@@ -89,11 +90,19 @@ runDiePopulation(const DieParams &params,
             run.results[i] = perDie(die, i);
         }
     } else {
+        // Grain 1: manufacturing a die costs milliseconds, so
+        // per-index chunks let work stealing balance the lot; each
+        // worker's die scratch comes from its own thread-local
+        // dieScratchArena(), keeping pages first-touch-local under
+        // VARSCHED_NUMA_NODES partitioning.
         ThreadPool pool(workers);
-        pool.parallelFor(seeds.size(), [&](std::size_t i) {
-            const Die die(params, seeds[i]);
-            run.results[i] = perDie(die, i);
-        });
+        pool.parallelFor(
+            seeds.size(),
+            [&](std::size_t i) {
+                const Die die(params, seeds[i]);
+                run.results[i] = perDie(die, i);
+            },
+            1);
     }
 
     run.mfgSec = std::chrono::duration<double>(

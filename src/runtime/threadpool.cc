@@ -1,10 +1,25 @@
 #include "runtime/threadpool.hh"
 
-#include <atomic>
+#include <algorithm>
 #include <cstdlib>
+#include <exception>
 
 namespace varsched
 {
+
+namespace
+{
+
+/**
+ * Which pool (and which worker slot in it) the current thread belongs
+ * to. Lets submit() route worker-originated tasks to the worker's own
+ * deque, which is also what keeps chains of tasks submitted during
+ * shutdown draining: the submitting worker itself runs them.
+ */
+thread_local const ThreadPool *tlPool = nullptr;
+thread_local std::size_t tlWorker = 0;
+
+} // namespace
 
 std::size_t
 configuredThreads()
@@ -18,20 +33,41 @@ configuredThreads()
     return hw > 0 ? hw : 1;
 }
 
+std::size_t
+configuredNumaNodes()
+{
+    if (const char *value = std::getenv("VARSCHED_NUMA_NODES")) {
+        const long parsed = std::strtol(value, nullptr, 10);
+        if (parsed > 0)
+            return static_cast<std::size_t>(parsed);
+    }
+    return 1;
+}
+
 ThreadPool::ThreadPool(std::size_t numThreads)
 {
     if (numThreads == 0)
         numThreads = 1;
+    numaNodes_ = std::min(configuredNumaNodes(), numThreads);
+
+    perWorker_.reserve(numThreads);
+    for (std::size_t i = 0; i < numThreads; ++i) {
+        auto worker = std::make_unique<Worker>();
+        // Contiguous equal-size groups: worker i belongs to node
+        // i*nodes/numThreads.
+        worker->node = i * numaNodes_ / numThreads;
+        perWorker_.push_back(std::move(worker));
+    }
     workers_.reserve(numThreads);
     for (std::size_t i = 0; i < numThreads; ++i)
-        workers_.emplace_back([this]() { workerLoop(); });
+        workers_.emplace_back([this, i]() { workerLoop(i); });
 }
 
 ThreadPool::~ThreadPool()
 {
+    stopping_.store(true, std::memory_order_release);
     {
-        std::lock_guard<std::mutex> lock(mutex_);
-        stopping_ = true;
+        std::lock_guard<std::mutex> lock(sleepMutex_);
     }
     wake_.notify_all();
     for (std::thread &worker : workers_)
@@ -39,60 +75,202 @@ ThreadPool::~ThreadPool()
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::notifyOne()
 {
-    for (;;) {
-        std::function<void()> task;
-        {
-            std::unique_lock<std::mutex> lock(mutex_);
-            wake_.wait(lock,
-                       [this]() { return stopping_ || !queue_.empty(); });
-            if (queue_.empty())
-                return; // stopping_ and drained
-            task = std::move(queue_.front());
-            queue_.pop();
+    // Taking the sleep mutex (and dropping it immediately) pairs the
+    // notification with the waiter's predicate check: either the
+    // waiter sees pending_ > 0 before sleeping, or it is already
+    // asleep and receives this notify.
+    {
+        std::lock_guard<std::mutex> lock(sleepMutex_);
+    }
+    wake_.notify_one();
+}
+
+void
+ThreadPool::enqueueTask(std::function<void()> task)
+{
+    inFlight_.fetch_add(1, std::memory_order_relaxed);
+    pending_.fetch_add(1, std::memory_order_relaxed);
+    if (tlPool == this) {
+        Worker &own = *perWorker_[tlWorker];
+        std::lock_guard<std::mutex> lock(own.mutex);
+        own.deque.push_back(std::move(task));
+    } else {
+        std::lock_guard<std::mutex> lock(injectMutex_);
+        injectQueue_.push_back(std::move(task));
+    }
+    notifyOne();
+}
+
+void
+ThreadPool::pushToWorker(std::size_t index, std::function<void()> task)
+{
+    inFlight_.fetch_add(1, std::memory_order_relaxed);
+    pending_.fetch_add(1, std::memory_order_relaxed);
+    {
+        Worker &worker = *perWorker_[index];
+        std::lock_guard<std::mutex> lock(worker.mutex);
+        worker.deque.push_back(std::move(task));
+    }
+    notifyOne();
+}
+
+bool
+ThreadPool::tryPop(std::size_t self, std::function<void()> &out)
+{
+    // 1. Own deque, newest first (cache-warm chunks).
+    {
+        Worker &own = *perWorker_[self];
+        std::lock_guard<std::mutex> lock(own.mutex);
+        if (!own.deque.empty()) {
+            out = std::move(own.deque.back());
+            own.deque.pop_back();
+            return true;
         }
-        task(); // packaged_task captures any exception
+    }
+    // 2. Shared injection queue, FIFO (external submit()s).
+    {
+        std::lock_guard<std::mutex> lock(injectMutex_);
+        if (!injectQueue_.empty()) {
+            out = std::move(injectQueue_.front());
+            injectQueue_.pop_front();
+            return true;
+        }
+    }
+    // 3. Steal, oldest first — same topology group before others, so
+    // cross-node traffic only happens when the own group is dry.
+    const std::size_t n = perWorker_.size();
+    const std::size_t ownNode = perWorker_[self]->node;
+    for (int pass = 0; pass < 2; ++pass) {
+        for (std::size_t offset = 1; offset < n; ++offset) {
+            const std::size_t victimIdx = (self + offset) % n;
+            Worker &victim = *perWorker_[victimIdx];
+            const bool sameNode = victim.node == ownNode;
+            if ((pass == 0) != sameNode)
+                continue;
+            std::unique_lock<std::mutex> lock(victim.mutex,
+                                              std::try_to_lock);
+            if (!lock.owns_lock())
+                continue;
+            if (!victim.deque.empty()) {
+                out = std::move(victim.deque.front());
+                victim.deque.pop_front();
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(std::size_t index)
+{
+    tlPool = this;
+    tlWorker = index;
+
+    std::function<void()> task;
+    for (;;) {
+        if (tryPop(index, task)) {
+            pending_.fetch_sub(1, std::memory_order_relaxed);
+            task(); // packaged_task / chunk wrappers capture throws
+            task = nullptr;
+            if (inFlight_.fetch_sub(1, std::memory_order_acq_rel) ==
+                    1 &&
+                stopping_.load(std::memory_order_acquire)) {
+                // Last task drained during shutdown: release the
+                // other sleepers so they can exit too.
+                {
+                    std::lock_guard<std::mutex> lock(sleepMutex_);
+                }
+                wake_.notify_all();
+            }
+            continue;
+        }
+
+        std::unique_lock<std::mutex> lock(sleepMutex_);
+        if (stopping_.load(std::memory_order_acquire) &&
+            inFlight_.load(std::memory_order_acquire) == 0) {
+            return;
+        }
+        wake_.wait(lock, [this]() {
+            return pending_.load(std::memory_order_acquire) > 0 ||
+                (stopping_.load(std::memory_order_acquire) &&
+                 inFlight_.load(std::memory_order_acquire) == 0);
+        });
+        if (pending_.load(std::memory_order_acquire) == 0 &&
+            stopping_.load(std::memory_order_acquire) &&
+            inFlight_.load(std::memory_order_acquire) == 0) {
+            return;
+        }
     }
 }
 
 void
 ThreadPool::parallelFor(std::size_t count,
-                        const std::function<void(std::size_t)> &fn)
+                        const std::function<void(std::size_t)> &fn,
+                        std::size_t grain)
 {
     if (count == 0)
         return;
 
-    auto cursor = std::make_shared<std::atomic<std::size_t>>(0);
-    const std::size_t numWorkers = std::min(size(), count);
-
-    std::vector<std::future<void>> futures;
-    futures.reserve(numWorkers);
-    for (std::size_t w = 0; w < numWorkers; ++w) {
-        futures.push_back(submit([cursor, count, &fn]() {
-            for (;;) {
-                const std::size_t i = cursor->fetch_add(1);
-                if (i >= count)
-                    return;
-                fn(i);
-            }
-        }));
+    const std::size_t workers = size();
+    if (grain == 0) {
+        // ~8 chunks per worker: fine enough for stealing to balance
+        // uneven costs, coarse enough to amortise task overhead.
+        grain = std::max<std::size_t>(1, count / (workers * 8));
     }
+    const std::size_t chunks = (count + grain - 1) / grain;
 
-    // Wait for everything, then surface the first failure. A worker
-    // that throws stops pulling indices, but the others finish their
-    // items, so the pool is quiescent before we rethrow.
-    std::exception_ptr error;
-    for (std::future<void> &future : futures) {
-        try {
-            future.get();
-        } catch (...) {
-            if (!error)
-                error = std::current_exception();
+    struct State
+    {
+        std::mutex mutex;
+        std::condition_variable done;
+        std::size_t remaining;
+        std::exception_ptr error;
+    };
+    auto state = std::make_shared<State>();
+    state->remaining = chunks;
+
+    // Range-partition the chunks across topology groups: group g gets
+    // the contiguous index span [g*chunks/G, (g+1)*chunks/G), handed
+    // round-robin to that group's workers. With first-touch placement
+    // each group keeps walking its own span across repeated sweeps.
+    std::vector<std::vector<std::size_t>> groupWorkers(numaNodes_);
+    for (std::size_t w = 0; w < workers; ++w)
+        groupWorkers[perWorker_[w]->node].push_back(w);
+
+    for (std::size_t g = 0; g < numaNodes_; ++g) {
+        const std::size_t chunkBegin = g * chunks / numaNodes_;
+        const std::size_t chunkEnd = (g + 1) * chunks / numaNodes_;
+        const std::vector<std::size_t> &members = groupWorkers[g];
+        for (std::size_t chunk = chunkBegin; chunk < chunkEnd;
+             ++chunk) {
+            const std::size_t begin = chunk * grain;
+            const std::size_t end =
+                std::min(count, begin + grain);
+            const std::size_t target =
+                members[(chunk - chunkBegin) % members.size()];
+            pushToWorker(target, [state, &fn, begin, end]() {
+                try {
+                    for (std::size_t i = begin; i < end; ++i)
+                        fn(i);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(state->mutex);
+                    if (!state->error)
+                        state->error = std::current_exception();
+                }
+                std::lock_guard<std::mutex> lock(state->mutex);
+                if (--state->remaining == 0)
+                    state->done.notify_all();
+            });
         }
     }
-    if (error)
-        std::rethrow_exception(error);
+
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->done.wait(lock, [&]() { return state->remaining == 0; });
+    if (state->error)
+        std::rethrow_exception(state->error);
 }
 
 } // namespace varsched

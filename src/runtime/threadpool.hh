@@ -1,26 +1,37 @@
 /**
  * @file
- * Small reusable thread pool for the batch experiment layer.
+ * Work-stealing thread pool for the batch experiment layer.
  *
  * The paper's evaluation protocol is embarrassingly parallel — 200
  * manufactured dies x 20 workload trials, every tuple independent by
  * construction — so the batch runner distributes (die, trial) work
- * items over a fixed set of workers. The pool is deliberately plain:
- * FIFO queue, std::future-based result/exception propagation, join on
- * destruction. Determinism is the batch layer's job (per-tuple seed
- * derivation + ordered reduction); the pool makes no ordering
- * promises beyond running every submitted task exactly once.
+ * items over a fixed set of workers. Each worker owns a deque: it
+ * pushes and pops its own work LIFO (cache-warm), steals FIFO from
+ * victims in its own topology group first, and falls back to a global
+ * injection queue for tasks submitted from outside the pool.
+ * Determinism is the batch layer's job (per-tuple seed derivation +
+ * ordered reduction); the pool makes no ordering promises beyond
+ * running every submitted task exactly once.
+ *
+ * Topology partitioning: VARSCHED_NUMA_NODES=k (default 1) splits the
+ * workers into k contiguous groups. parallelFor hands each group a
+ * contiguous slice of the index space, so with first-touch data
+ * placement (thread-local arenas, per-worker scratch) a group keeps
+ * re-touching pages its own node allocated; stealing prefers same-
+ * group victims and crosses groups only when a group runs dry.
  */
 
 #ifndef VARSCHED_RUNTIME_THREADPOOL_HH
 #define VARSCHED_RUNTIME_THREADPOOL_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <vector>
 
@@ -34,14 +45,22 @@ namespace varsched
  */
 std::size_t configuredThreads();
 
-/** Fixed-size FIFO thread pool. */
+/**
+ * Topology groups the pool should partition its workers into: the
+ * VARSCHED_NUMA_NODES environment override when set and positive,
+ * otherwise 1 (no partitioning).
+ */
+std::size_t configuredNumaNodes();
+
+/** Fixed-size work-stealing thread pool. */
 class ThreadPool
 {
   public:
     /** Spawn @p numThreads workers (clamped to at least 1). */
     explicit ThreadPool(std::size_t numThreads);
 
-    /** Drains the queue, then joins every worker. */
+    /** Drains all queues (including tasks that running tasks submit
+     *  during shutdown), then joins every worker. */
     ~ThreadPool();
 
     ThreadPool(const ThreadPool &) = delete;
@@ -50,9 +69,14 @@ class ThreadPool
     /** Number of worker threads. */
     std::size_t size() const { return workers_.size(); }
 
+    /** Number of topology groups the workers are partitioned into. */
+    std::size_t numaNodes() const { return numaNodes_; }
+
     /**
      * Enqueue a task. The returned future yields the task's result —
      * or rethrows the exception it exited with — when waited on.
+     * Submissions from a worker of this pool go to that worker's own
+     * deque; external submissions go to the shared injection queue.
      */
     template <typename Fn>
     auto
@@ -62,32 +86,54 @@ class ThreadPool
         auto task = std::make_shared<std::packaged_task<Result()>>(
             std::forward<Fn>(fn));
         std::future<Result> future = task->get_future();
-        {
-            std::lock_guard<std::mutex> lock(mutex_);
-            queue_.emplace([task]() { (*task)(); });
-        }
-        wake_.notify_one();
+        enqueueTask([task]() { (*task)(); });
         return future;
     }
 
     /**
      * Run fn(0) .. fn(count-1) across the pool and wait for all of
-     * them. Indices are handed out dynamically (an atomic cursor), so
-     * uneven item costs still balance. If any invocation throws, the
-     * first exception (by completion order) is rethrown here after
-     * every worker has stopped.
+     * them. The index space is cut into contiguous chunks of @p grain
+     * indices (grain 0 = automatic: ~8 chunks per worker), the chunks
+     * are range-partitioned across topology groups and distributed to
+     * worker deques, and idle workers steal — so uneven item costs
+     * still balance without per-index task overhead. If any
+     * invocation throws, the first exception (by completion order) is
+     * rethrown here after every chunk has finished or been abandoned;
+     * the remaining indices of the throwing chunk are skipped, other
+     * chunks run to completion, and the pool stays usable.
      */
     void parallelFor(std::size_t count,
-                     const std::function<void(std::size_t)> &fn);
+                     const std::function<void(std::size_t)> &fn,
+                     std::size_t grain = 0);
 
   private:
-    void workerLoop();
+    struct Worker
+    {
+        std::mutex mutex;
+        std::deque<std::function<void()>> deque;
+        std::size_t node = 0;
+    };
 
+    void enqueueTask(std::function<void()> task);
+    void pushToWorker(std::size_t index, std::function<void()> task);
+    void workerLoop(std::size_t index);
+    bool tryPop(std::size_t self, std::function<void()> &out);
+    void notifyOne();
+
+    std::vector<std::unique_ptr<Worker>> perWorker_;
     std::vector<std::thread> workers_;
-    std::queue<std::function<void()>> queue_;
-    std::mutex mutex_;
+    std::size_t numaNodes_ = 1;
+
+    std::mutex injectMutex_;
+    std::deque<std::function<void()>> injectQueue_;
+
+    std::mutex sleepMutex_;
     std::condition_variable wake_;
-    bool stopping_ = false;
+    /** Tasks queued anywhere but not yet picked up. */
+    std::atomic<std::size_t> pending_{0};
+    /** Tasks queued or currently running. */
+    std::atomic<std::size_t> inFlight_{0};
+    std::atomic<bool> stopping_{false};
 };
 
 } // namespace varsched

@@ -1,5 +1,7 @@
 #include "solver/fft.hh"
 
+#include "runtime/simd.hh"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -45,13 +47,13 @@ twiddleTable(std::size_t n)
 void
 transposeBlocked(const std::complex<double> *src,
                  std::complex<double> *dst, std::size_t rows,
-                 std::size_t cols)
+                 std::size_t cols, std::size_t keepCols)
 {
     constexpr std::size_t kBlock = 32;
     for (std::size_t rb = 0; rb < rows; rb += kBlock) {
         const std::size_t rEnd = std::min(rows, rb + kBlock);
-        for (std::size_t cb = 0; cb < cols; cb += kBlock) {
-            const std::size_t cEnd = std::min(cols, cb + kBlock);
+        for (std::size_t cb = 0; cb < keepCols; cb += kBlock) {
+            const std::size_t cEnd = std::min(keepCols, cb + kBlock);
             for (std::size_t r = rb; r < rEnd; ++r)
                 for (std::size_t c = cb; c < cEnd; ++c)
                     dst[c * rows + r] = src[r * cols + c];
@@ -98,17 +100,8 @@ fft(std::complex<double> *data, std::size_t n, bool inverse)
         const std::size_t half = len / 2;
         const std::size_t stride = n / len;
         for (std::size_t i = 0; i < n; i += len) {
-            std::complex<double> *lo = data + i;
-            std::complex<double> *hi = lo + half;
-            for (std::size_t k = 0; k < half; ++k) {
-                const std::complex<double> &t = tw[k * stride];
-                const std::complex<double> w =
-                    inverse ? std::conj(t) : t;
-                const std::complex<double> u = lo[k];
-                const std::complex<double> v = hi[k] * w;
-                lo[k] = u + v;
-                hi[k] = u - v;
-            }
+            simd::butterflyStage(data + i, data + i + half, tw.data(),
+                                 stride, half, inverse);
         }
     }
 }
@@ -120,26 +113,47 @@ fft(std::vector<std::complex<double>> &data, bool inverse)
 }
 
 void
-fft2d(std::vector<std::complex<double>> &data, std::size_t rows,
-      std::size_t cols, bool inverse)
+fft2dCorner(std::complex<double> *data, std::size_t rows,
+            std::size_t cols, bool inverse, std::size_t keepRows,
+            std::size_t keepCols)
 {
-    assert(data.size() == rows * cols);
     assert(isPowerOfTwo(rows) && isPowerOfTwo(cols));
+    assert(keepRows <= rows && keepCols <= cols);
 
     for (std::size_t r = 0; r < rows; ++r)
-        fft(data.data() + r * cols, cols, inverse);
+        fft(data + r * cols, cols, inverse);
 
     // Column pass: transpose so former columns are contiguous rows,
     // transform them in place, transpose back. The two blocked
     // transposes are far cheaper than n strided gathers on the big
     // embedding grids. thread_local scratch: concurrent die
     // manufacture transforms from several pool workers at once.
+    //
+    // Column transforms are independent, so when the caller only
+    // consumes the top-left keepRows x keepCols corner (circulant
+    // embedding crops a 2n x 2n+ grid down to n x n) we transpose and
+    // transform just the first keepCols columns and write back only
+    // the kept corner — bit-identical there to the full transform.
     static thread_local std::vector<std::complex<double>> scratch;
-    scratch.resize(rows * cols);
-    transposeBlocked(data.data(), scratch.data(), rows, cols);
-    for (std::size_t c = 0; c < cols; ++c)
+    scratch.resize(keepCols * rows);
+    transposeBlocked(data, scratch.data(), rows, cols, keepCols);
+    for (std::size_t c = 0; c < keepCols; ++c)
         fft(scratch.data() + c * rows, rows, inverse);
-    transposeBlocked(scratch.data(), data.data(), cols, rows);
+    if (keepRows == rows && keepCols == cols) {
+        transposeBlocked(scratch.data(), data, cols, rows, rows);
+        return;
+    }
+    for (std::size_t r = 0; r < keepRows; ++r)
+        for (std::size_t c = 0; c < keepCols; ++c)
+            data[r * cols + c] = scratch[c * rows + r];
+}
+
+void
+fft2d(std::vector<std::complex<double>> &data, std::size_t rows,
+      std::size_t cols, bool inverse)
+{
+    assert(data.size() == rows * cols);
+    fft2dCorner(data.data(), rows, cols, inverse, rows, cols);
 }
 
 } // namespace varsched

@@ -48,6 +48,19 @@ void fft(std::complex<double> *data, std::size_t n, bool inverse);
 void fft2d(std::vector<std::complex<double>> &data, std::size_t rows,
            std::size_t cols, bool inverse);
 
+/**
+ * fft2d() on a raw row-major span when only the top-left
+ * keepRows x keepCols corner of the result will be read. Skips the
+ * column transforms (and the transpose back) for the discarded
+ * columns — the kept corner is bit-identical to the full transform;
+ * entries outside it are left in an unspecified intermediate state.
+ * Circulant-embedding field synthesis crops its 2n x 2n+ grid to
+ * n x n, so this drops >half of the column-pass work per die.
+ */
+void fft2dCorner(std::complex<double> *data, std::size_t rows,
+                 std::size_t cols, bool inverse, std::size_t keepRows,
+                 std::size_t keepCols);
+
 } // namespace varsched
 
 #endif // VARSCHED_SOLVER_FFT_HH

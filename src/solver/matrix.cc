@@ -1,5 +1,7 @@
 #include "solver/matrix.hh"
 
+#include "runtime/simd.hh"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -12,24 +14,14 @@ namespace
 
 /**
  * Dot product of two contiguous spans, register-blocked: four
- * independent accumulators hide the FP-add latency and let the
- * compiler vectorise without having to prove reassociation is safe.
+ * independent accumulators (vector lanes on the explicit-SIMD path)
+ * hide the FP-add latency. simd::dot's scalar fallback is this exact
+ * four-accumulator loop, so default builds are unchanged.
  */
 double
 dotBlocked(const double *a, const double *b, std::size_t n)
 {
-    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-    std::size_t k = 0;
-    for (; k + 4 <= n; k += 4) {
-        s0 += a[k] * b[k];
-        s1 += a[k + 1] * b[k + 1];
-        s2 += a[k + 2] * b[k + 2];
-        s3 += a[k + 3] * b[k + 3];
-    }
-    double s = (s0 + s1) + (s2 + s3);
-    for (; k < n; ++k)
-        s += a[k] * b[k];
-    return s;
+    return simd::dot(a, b, n);
 }
 
 } // namespace
@@ -109,8 +101,7 @@ choleskySolve(const Matrix &l, const std::vector<double> &b)
         const double *li = l.row(i);
         const double xi = y[i] / li[i];
         x[i] = xi;
-        for (std::size_t j = 0; j < i; ++j)
-            y[j] -= li[j] * xi;
+        simd::axpyNeg(y.data(), xi, li, i);
     }
     return x;
 }

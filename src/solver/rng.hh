@@ -136,6 +136,19 @@ class Rng
     }
 
     /**
+     * True when a cached Box-Muller spare is pending — i.e. the next
+     * normal() returns the stored sin half instead of drawing
+     * uniforms. Batched normal fills check this to decide whether the
+     * vectorised path (which replays the uniform stream in pairs)
+     * starts stream-aligned with the scalar sequence.
+     */
+    bool
+    hasNormalSpare() const
+    {
+        return haveSpare_;
+    }
+
+    /**
      * Derive an independent child generator. Used to give each die,
      * trial, or application its own stream while remaining a pure
      * function of (parent seed, tag).

@@ -1,6 +1,9 @@
 #include "timing/alphapower.hh"
 
+#include "runtime/simd.hh"
+
 #include <cmath>
+#include <vector>
 
 namespace varsched
 {
@@ -59,6 +62,25 @@ gateDelayBatch(const double *leff, const double *vth, std::size_t n,
     const double dVth = params.vthTempCoeff * (tempC - params.refTempC);
     const double mobilityDerate = mobilityDerateAt(tempC, params);
     const double alpha = params.alpha;
+
+    if (simd::enabled() && n >= 8) {
+        // Vector path: stage the (strictly positive) soft-clamped
+        // overdrives, raise them to alpha as one exp(alpha*log) sweep,
+        // and finish with the same leff*V*derate/pow expression.
+        // Agrees with the scalar loop below (and with gateDelay / the
+        // maxDelayScalarRef contract) to <= 1e-12.
+        static thread_local std::vector<double> effBuf;
+        static thread_local std::vector<double> powBuf;
+        effBuf.resize(n);
+        powBuf.resize(n);
+        for (std::size_t i = 0; i < n; ++i)
+            effBuf[i] = effectiveOverdrive(v - (vth[i] - dVth));
+        simd::powSweep(effBuf.data(), alpha, powBuf.data(), n);
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = leff[i] * v * mobilityDerate / powBuf[i];
+        return;
+    }
+
     for (std::size_t i = 0; i < n; ++i) {
         const double effOverdrive =
             effectiveOverdrive(v - (vth[i] - dVth));

@@ -10,6 +10,8 @@
 #include <memory>
 #include <mutex>
 
+#include "runtime/arena.hh"
+#include "runtime/simd.hh"
 #include "solver/fft.hh"
 #include "solver/matrix.hh"
 #include "varius/correlation.hh"
@@ -252,16 +254,60 @@ generateCirculant(std::size_t n, double phi, Rng &rng,
     const std::shared_ptr<const CirculantSpectrum> sp =
         circulantSpectrum(n, phi);
     const std::size_t m = sp->m;
+    const std::size_t total = m * m;
     const double rescale = sp->rescale;
+    const double *amp = sp->amp.data();
 
-    std::vector<std::complex<double>> spec(m * m);
-    for (std::size_t i = 0; i < m * m; ++i) {
-        const double amp = sp->amp[i];
-        spec[i] =
-            std::complex<double>(amp * rng.normal(), amp * rng.normal());
+    // The noise plane and Box-Muller staging are per-die scratch —
+    // several MB that the arena hands back without malloc or the
+    // zero-fill a std::vector resize would pay.
+    BumpArena &arena = dieScratchArena();
+    const BumpArena::Scope scope(arena);
+    std::complex<double> *spec = arena.alloc<std::complex<double>>(total);
+
+    if (simd::enabled() && !rng.hasNormalSpare()) {
+        // Vectorised Box-Muller: stage the uniforms with the exact
+        // draw order of Rng::normal() — one rejected-zero u1 and one
+        // u2 per complex point, each point consuming exactly one
+        // Box-Muller pair (cos half = Im, sin half = Re, matching the
+        // scalar branch's draw order below) — so the RNG leaves this
+        // loop in the same state as the scalar path and every
+        // downstream draw matches. Values agree with the scalar
+        // transform to <= 1e-12.
+        double *u1 = arena.alloc<double>(total);
+        double *u2 = arena.alloc<double>(total);
+        double *cosHalf = arena.alloc<double>(total);
+        double *sinHalf = arena.alloc<double>(total);
+        for (std::size_t i = 0; i < total; ++i) {
+            double a = 0.0;
+            while (a == 0.0)
+                a = rng.uniform();
+            u1[i] = a;
+            u2[i] = rng.uniform();
+        }
+        simd::boxMullerSweep(u1, u2, cosHalf, sinHalf, total);
+        for (std::size_t i = 0; i < total; ++i) {
+            spec[i] = std::complex<double>(amp[i] * sinHalf[i],
+                                           amp[i] * cosHalf[i]);
+        }
+    } else {
+        for (std::size_t i = 0; i < total; ++i) {
+            // Drawn imaginary-half first: the committed golden fields
+            // bake in the evaluation order the original
+            //   complex(amp * normal(), amp * normal())
+            // constructor call produced (right-to-left on this
+            // toolchain), so the order is now explicit. The first
+            // normal of a Box-Muller pair is the cos half.
+            const double im = amp[i] * rng.normal();
+            const double re = amp[i] * rng.normal();
+            spec[i] = std::complex<double>(re, im);
+        }
     }
 
-    fft2d(spec, m, m, false);
+    // Only the top-left n x n corner is cropped below, so the column
+    // pass can skip the other m - n columns entirely (bit-identical
+    // for the kept corner).
+    fft2dCorner(spec, m, m, false, n, n);
 
     std::vector<double> values(n * n);
     for (std::size_t r = 0; r < n; ++r)

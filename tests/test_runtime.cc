@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <functional>
 #include <mutex>
@@ -202,6 +203,151 @@ TEST(ThreadPool, ConfiguredThreadsHonoursEnv)
     EXPECT_GE(configuredThreads(), 1u);
     unsetenv("VARSCHED_THREADS");
     EXPECT_GE(configuredThreads(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Chunked parallelFor: grain-size sweeps.
+
+/** A cheap pure function of the index for bit-identity checks. */
+double
+chunkProbe(std::size_t i)
+{
+    const double x = 0.001 * static_cast<double>(i) - 1.7;
+    return x * x * 1.000000001 + std::sin(x);
+}
+
+TEST(ThreadPool, ChunkedParallelForCoversEveryIndexExactlyOnce)
+{
+    // Grain sizes below/at/above the count, counts not divisible by
+    // the grain, and pool sizes spanning 1..7 workers: every index
+    // must run exactly once (an atomic counter catches both skips
+    // and double-runs from bad chunk-boundary arithmetic).
+    const std::size_t counts[] = {0, 1, 7, 100, 257, 4097};
+    const std::size_t grains[] = {1, 8, 4096};
+    const std::size_t poolSizes[] = {1, 2, 7};
+    for (const std::size_t workers : poolSizes) {
+        ThreadPool pool(workers);
+        for (const std::size_t count : counts) {
+            for (const std::size_t grain : grains) {
+                std::vector<std::atomic<int>> hits(count);
+                pool.parallelFor(
+                    count, [&](std::size_t i) { ++hits[i]; }, grain);
+                for (std::size_t i = 0; i < count; ++i)
+                    EXPECT_EQ(hits[i].load(), 1)
+                        << "workers=" << workers << " count=" << count
+                        << " grain=" << grain << " i=" << i;
+            }
+        }
+    }
+}
+
+TEST(ThreadPool, ChunkedParallelForIsBitIdenticalAcrossGrains)
+{
+    // The per-index results of a pure function must be bit-identical
+    // regardless of grain size or worker count — chunking only
+    // partitions the index space, it must not reorder or merge any
+    // per-index computation.
+    const std::size_t count = 4097; // not divisible by any grain
+    std::vector<double> reference(count);
+    for (std::size_t i = 0; i < count; ++i)
+        reference[i] = chunkProbe(i);
+
+    for (const std::size_t workers : {1, 2, 7}) {
+        ThreadPool pool(workers);
+        for (const std::size_t grain : {1, 8, 4096}) {
+            std::vector<double> out(count, -1.0);
+            pool.parallelFor(
+                count, [&](std::size_t i) { out[i] = chunkProbe(i); },
+                grain);
+            for (std::size_t i = 0; i < count; ++i)
+                EXPECT_EQ(out[i], reference[i])
+                    << "workers=" << workers << " grain=" << grain
+                    << " i=" << i;
+        }
+    }
+}
+
+TEST(ThreadPool, ChunkedParallelForPropagatesExceptionPerGrain)
+{
+    // Whatever the grain, a throwing body must surface through
+    // parallelFor, the remaining chunks must still complete (their
+    // indices run), and the pool must stay usable afterwards.
+    for (const std::size_t grain : {1, 8, 4096}) {
+        ThreadPool pool(3);
+        std::vector<std::atomic<int>> hits(1000);
+        EXPECT_THROW(
+            pool.parallelFor(
+                hits.size(),
+                [&](std::size_t i) {
+                    if (i == 500)
+                        throw std::domain_error("boom");
+                    ++hits[i];
+                },
+                grain),
+            std::domain_error)
+            << "grain=" << grain;
+        // No index ran twice, and indices outside the throwing chunk
+        // all ran exactly once.
+        int ran = 0;
+        for (std::size_t i = 0; i < hits.size(); ++i) {
+            EXPECT_LE(hits[i].load(), 1) << "grain=" << grain;
+            ran += hits[i].load();
+        }
+        EXPECT_GE(ran, 1) << "grain=" << grain;
+        // Indices before the throwing one in its chunk did run; with
+        // grain 4096 everything lives in one chunk, so exactly the
+        // pre-throw prefix ran.
+        if (grain >= hits.size()) {
+            EXPECT_EQ(ran, 500) << "grain=" << grain;
+        }
+        pool.parallelFor(
+            8, [](std::size_t) {}, 1);
+    }
+}
+
+TEST(ThreadPool, ChunkedParallelForUnderVarschedThreadsEnv)
+{
+    // configuredThreads()-sized pools at 1/2/7 via the env knob, the
+    // way the benches construct theirs.
+    for (const char *threads : {"1", "2", "7"}) {
+        setenv("VARSCHED_THREADS", threads, 1);
+        ThreadPool pool(configuredThreads());
+        std::vector<std::atomic<int>> hits(613);
+        for (const std::size_t grain : {1, 8, 4096}) {
+            for (auto &h : hits)
+                h.store(0);
+            pool.parallelFor(
+                hits.size(), [&](std::size_t i) { ++hits[i]; }, grain);
+            for (std::size_t i = 0; i < hits.size(); ++i)
+                EXPECT_EQ(hits[i].load(), 1)
+                    << "threads=" << threads << " grain=" << grain;
+        }
+    }
+    unsetenv("VARSCHED_THREADS");
+}
+
+TEST(ThreadPool, NumaNodePartitioningStillCoversAllIndices)
+{
+    // VARSCHED_NUMA_NODES is read at pool construction; with two
+    // groups the chunk ranges are partitioned across the groups but
+    // coverage and results must be unchanged.
+    setenv("VARSCHED_NUMA_NODES", "2", 1);
+    {
+        ThreadPool pool(4);
+        EXPECT_EQ(pool.numaNodes(), 2u);
+        std::vector<std::atomic<int>> hits(1025);
+        for (const std::size_t grain : {0, 1, 8}) {
+            for (auto &h : hits)
+                h.store(0);
+            pool.parallelFor(
+                hits.size(), [&](std::size_t i) { ++hits[i]; }, grain);
+            for (std::size_t i = 0; i < hits.size(); ++i)
+                EXPECT_EQ(hits[i].load(), 1) << "grain=" << grain;
+        }
+    }
+    unsetenv("VARSCHED_NUMA_NODES");
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.numaNodes(), 1u);
 }
 
 // ---------------------------------------------------------------------

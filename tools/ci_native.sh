@@ -1,8 +1,12 @@
 #!/bin/sh
 # CI-style smoke of the VARSCHED_NATIVE configuration: configure a
-# separate host-tuned build, build it, and run the fast test tiers
-# (unit tests + bench smokes). Keeps the default build directory
-# untouched. Usage:
+# separate host-tuned build, build it, run the fast test tiers (unit
+# tests + bench smokes, including the simd_forced_scalar fallback
+# configuration), then run the four manufacture-bound benches at full
+# paper scale and gate them against the committed BENCH_PR5.json
+# baseline — a hard (non-informational) regression gate, so a perf
+# regression on the SIMD/runtime path fails this script. Keeps the
+# default build directory untouched. Usage:
 #   tools/ci_native.sh [build-dir]        # default: build-native
 set -eu
 
@@ -12,3 +16,19 @@ build=${1:-"$repo/build-native"}
 cmake -B "$build" -S "$repo" -DVARSCHED_NATIVE=ON
 cmake --build "$build" -j
 ctest --test-dir "$build" --output-on-failure -j
+
+# Full-scale perf gate: the mfg-bound benches write a fresh JSON which
+# must validate and must not have regressed against the committed
+# baseline. The gate runs *without* VARSCHED_BENCH_COMPARE: the
+# guard's serial re-run doubles the measured wall time, and the
+# bit-identity check is already exercised by the bench_smoke ctest
+# tier above (smoke_bench_fig05_sigma_sweep runs with the guard on).
+gate_json="$build/BENCH_GATE.json"
+rm -f "$gate_json"
+for bench in bench_ext_yield bench_fig04_variation \
+             bench_fig05_sigma_sweep bench_ext_abb; do
+    VARSCHED_BENCH_JSON="$gate_json" \
+        "$build/bench/$bench" > /dev/null
+done
+"$build/tools/validate_bench_json" "$gate_json"
+"$build/tools/compare_bench_json" "$repo/BENCH_PR5.json" "$gate_json"

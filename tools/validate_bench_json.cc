@@ -12,9 +12,13 @@
  *   parallel_s     number >= 0
  *   serial_s       number >= 0, or null when not measured
  *   speedup        number > 0, or null when not measured
- *   physics_s      number >= 0 (chip-evaluation seconds)
- *   pm_s           number >= 0 (power-manager seconds)
- *   sched_s        number >= 0 (scheduler seconds)
+ *   physics_s      number >= 0 (chip-evaluation wall seconds)
+ *   pm_s           number >= 0 (power-manager wall seconds)
+ *   sched_s        number >= 0 (scheduler wall seconds)
+ *   physics_cpu_s  number >= 0 (chip-evaluation CPU seconds summed
+ *                  across workers; >= physics_s by construction)
+ *   pm_cpu_s       number >= 0 (power-manager CPU seconds)
+ *   sched_cpu_s    number >= 0 (scheduler CPU seconds)
  *   mfg_s          number >= 0 (die-manufacture seconds), or null;
  *                  must be non-null for the die-population benches
  *                  (they route their lots through runDies())
@@ -114,13 +118,31 @@ validateEntry(std::size_t index, const std::string &object,
         return fail(index, "serial_s and speedup must both be set "
                            "or both null");
 
-    // Per-phase wall-clock breakdown (PR 3+ entries).
+    // Per-phase breakdown (PR 3+ entries). As of PR 7 the plain *_s
+    // keys are wall-attributed (a batch's wall clock split by CPU
+    // share) and the raw cross-thread CPU sums moved to *_cpu_s; the
+    // wall phases must therefore fit inside the measured wall time.
     if (!isNumber(rawValue(object, "physics_s"), false, true))
         return fail(index, "\"physics_s\" must be a number >= 0");
     if (!isNumber(rawValue(object, "pm_s"), false, true))
         return fail(index, "\"pm_s\" must be a number >= 0");
     if (!isNumber(rawValue(object, "sched_s"), false, true))
         return fail(index, "\"sched_s\" must be a number >= 0");
+    if (!isNumber(rawValue(object, "physics_cpu_s"), false, true))
+        return fail(index, "\"physics_cpu_s\" must be a number >= 0");
+    if (!isNumber(rawValue(object, "pm_cpu_s"), false, true))
+        return fail(index, "\"pm_cpu_s\" must be a number >= 0");
+    if (!isNumber(rawValue(object, "sched_cpu_s"), false, true))
+        return fail(index, "\"sched_cpu_s\" must be a number >= 0");
+    const double wallPhases =
+        std::strtod(rawValue(object, "physics_s").c_str(), nullptr) +
+        std::strtod(rawValue(object, "pm_s").c_str(), nullptr) +
+        std::strtod(rawValue(object, "sched_s").c_str(), nullptr);
+    const double parallelS =
+        std::strtod(rawValue(object, "parallel_s").c_str(), nullptr);
+    if (wallPhases > parallelS * 1.01 + 1e-3)
+        return fail(index, "wall-attributed phases exceed parallel_s "
+                           "(per-thread CPU sums leaked into *_s?)");
 
     // Die-manufacture phase (PR 5+ entries): null for benches that
     // never run a die population, required for the four that do.
