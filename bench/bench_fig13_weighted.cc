@@ -50,6 +50,12 @@ main()
             // objective can be selected with VARSCHED_WEIGHTED_OBJ=1.
             if (envSize("VARSCHED_WEIGHTED_OBJ", 0) == 1)
                 c.pmObjective = PmObjective::Weighted;
+            // Phase-sampled tick engine (default on; opt out with
+            // VARSCHED_PHASE_SAMPLING=0). With
+            // VARSCHED_BENCH_COMPARE=1 every run self-checks against
+            // the exact reference within the error budget.
+            c.phaseSampling.enabled =
+                envFlag("VARSCHED_PHASE_SAMPLING", true);
         }
 
         const auto r = perf.run(batch, threads, configs);

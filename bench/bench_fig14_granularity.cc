@@ -44,6 +44,8 @@ main()
             // times) per run.
             config.durationMs = std::max(3.0 * interval, 400.0);
             config.osIntervalMs = config.durationMs; // schedule once
+            config.phaseSampling.enabled =
+                envFlag("VARSCHED_PHASE_SAMPLING", true);
             const auto r =
                 perf.run(batch, threadCounts[i], {config});
             dev[i] = r.absolute[0].deviation.mean() * 100.0;

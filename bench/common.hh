@@ -173,6 +173,10 @@ class PerfRecorder
         physicsSec_ += result.physicsSec * scale;
         pmSec_ += result.pmSec * scale;
         schedSec_ += result.schedSec * scale;
+        exactTicks_ += result.exactTicks;
+        sampledTicks_ += result.sampledTicks;
+        if (result.estErrMax > estErr_)
+            estErr_ = result.estErrMax;
 
         if (compare_) {
             BatchConfig serial = batch;
@@ -248,10 +252,14 @@ class PerfRecorder
             "\"pm_s\": %.6f, \"sched_s\": %.6f, "
             "\"physics_cpu_s\": %.6f, \"pm_cpu_s\": %.6f, "
             "\"sched_cpu_s\": %.6f, "
-            "\"mfg_s\": %s, \"cg_free_thermal\": true}",
+            "\"mfg_s\": %s, "
+            "\"exact_ticks\": %llu, \"sampled_ticks\": %llu, "
+            "\"est_err\": %.6f, \"cg_free_thermal\": true}",
             name_.c_str(), configuredThreads(), parallel, serial,
             speedup, physicsSec_, pmSec_, schedSec_, physicsCpuSec_,
-            pmCpuSec_, schedCpuSec_, mfg);
+            pmCpuSec_, schedCpuSec_, mfg,
+            static_cast<unsigned long long>(exactTicks_),
+            static_cast<unsigned long long>(sampledTicks_), estErr_);
         mergeJson(entry);
     }
 
@@ -363,6 +371,10 @@ class PerfRecorder
     double physicsCpuSec_ = 0.0;
     double pmCpuSec_ = 0.0;
     double schedCpuSec_ = 0.0;
+    // Phase-sampling telemetry: summed tick counts, worst est_err.
+    std::uint64_t exactTicks_ = 0;
+    std::uint64_t sampledTicks_ = 0;
+    double estErr_ = 0.0;
 };
 
 } // namespace varsched::bench

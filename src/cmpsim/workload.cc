@@ -31,14 +31,31 @@ makePhases(double phasiness, double dwellMs)
 {
     std::vector<Phase> phases(3);
     // Phase 0: average behaviour.
-    phases[0] = Phase{1.0, 1.0, 1.0, dwellMs};
+    phases[0] = Phase{1.0, 1.0, 1.0, dwellMs, "avg"};
     // Phase 1: compute burst — lower CPI, far fewer misses, more
     // power (SPEC phase swings are large; see e.g. SimPoint studies).
     phases[1] = Phase{1.0 - 0.30 * phasiness, 1.0 - 0.65 * phasiness,
-                      1.0 + 0.25 * phasiness, dwellMs * 0.6};
+                      1.0 + 0.25 * phasiness, dwellMs * 0.6, "burst"};
     // Phase 2: memory lull — higher CPI, many more misses, less power.
     phases[2] = Phase{1.0 + 0.55 * phasiness, 1.0 + 1.6 * phasiness,
-                      1.0 - 0.30 * phasiness, dwellMs * 0.8};
+                      1.0 - 0.30 * phasiness, dwellMs * 0.8, "lull"};
+    return phases;
+}
+
+/**
+ * Long-dwell labelled phase set for synthetic service traffic:
+ * diurnal-style steady / peak / lull swings measured in seconds, the
+ * regime the phase-sampled tick engine exploits.
+ */
+std::vector<Phase>
+makeTrafficPhases(double swing, double dwellMs)
+{
+    std::vector<Phase> phases(3);
+    phases[0] = Phase{1.0, 1.0, 1.0, dwellMs, "steady"};
+    phases[1] = Phase{1.0 - 0.20 * swing, 1.0 - 0.40 * swing,
+                      1.0 + 0.20 * swing, dwellMs * 0.5, "peak"};
+    phases[2] = Phase{1.0 + 0.35 * swing, 1.0 + 0.9 * swing,
+                      1.0 - 0.25 * swing, dwellMs * 0.7, "lull"};
     return phases;
 }
 
@@ -98,6 +115,36 @@ specApplications()
     return apps;
 }
 
+const std::vector<AppProfile> &
+trafficApplications()
+{
+    // Service-style request mixes: the trace parameters reuse the
+    // SPEC calibration ranges, but every profile dwells seconds per
+    // phase (2000-5000 ms vs SPEC's 100-300 ms) so steady phases span
+    // hundreds of DVFS epochs.
+    static const std::vector<AppProfile> apps = [] {
+        std::vector<AppProfile> out = {
+            //      name        fp    W    ipc  cpiExe l2x  mem   br    hard  dep  phase dwell
+            makeApp("web_front", false,3.4, 0.9, 0.80, 8.0, 0.30, 0.14, 0.08, 6.0, 0.5, 3000.0),
+            makeApp("rpc_mid",   false,3.0, 0.8, 0.85, 7.0, 0.30, 0.12, 0.07, 6.0, 0.4, 4000.0),
+            makeApp("kv_cache",  false,2.0, 0.3, 1.10, 4.0, 0.38, 0.10, 0.06, 3.5, 0.7, 2500.0),
+            makeApp("analytics", true, 3.8, 1.0, 0.78, 6.0, 0.33, 0.04, 0.02, 5.0, 0.6, 5000.0),
+            makeApp("media_enc", true, 4.2, 1.1, 0.74, 7.0, 0.31, 0.03, 0.02, 4.5, 0.3, 4500.0),
+            makeApp("batch_etl", false,2.6, 0.5, 0.95, 6.0, 0.34, 0.11, 0.06, 5.0, 0.8, 2000.0),
+        };
+        for (auto &app : out) {
+            const double swing =
+                1.0 - app.phases[1].cpiScale > 0.0
+                    ? (1.0 - app.phases[1].cpiScale) / 0.30
+                    : 0.5;
+            const double dwell = app.phases[0].meanDwellMs;
+            app.phases = makeTrafficPhases(swing, dwell);
+        }
+        return out;
+    }();
+    return apps;
+}
+
 const AppProfile &
 findApplication(const std::string &name)
 {
@@ -109,13 +156,14 @@ findApplication(const std::string &name)
 }
 
 std::vector<const AppProfile *>
-randomWorkload(std::size_t numThreads, Rng &rng)
+randomWorkload(std::size_t numThreads, Rng &rng,
+               const std::vector<AppProfile> *pool)
 {
-    const auto &pool = specApplications();
+    const auto &apps = pool != nullptr ? *pool : specApplications();
     std::vector<const AppProfile *> out;
     out.reserve(numThreads);
     for (std::size_t i = 0; i < numThreads; ++i)
-        out.push_back(&pool[rng.below(pool.size())]);
+        out.push_back(&apps[rng.below(apps.size())]);
     return out;
 }
 

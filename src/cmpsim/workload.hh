@@ -39,6 +39,8 @@ struct Phase
     double activityScale = 1.0;
     /** Mean dwell time in this phase, milliseconds. */
     double meanDwellMs = 150.0;
+    /** Optional label ("burst", "lull", ...) for traces/telemetry. */
+    std::string label;
 };
 
 /** Static description of one application. */
@@ -89,16 +91,28 @@ struct AppProfile
 /** The 14-application SPECint + SPECfp pool of Section 6.4. */
 const std::vector<AppProfile> &specApplications();
 
+/**
+ * Synthetic service-traffic profiles for long-horizon runs: request
+ * mixes with *long-dwell* labelled phases (steady / peak / lull on
+ * the order of seconds) instead of SPEC's ~150 ms swings. This is the
+ * workload the phase-sampled engine is built for — the phases are
+ * long enough to sample, and a million-tick horizon walks through
+ * many of them.
+ */
+const std::vector<AppProfile> &trafficApplications();
+
 /** Look up an application by name; aborts if absent. */
 const AppProfile &findApplication(const std::string &name);
 
 /**
- * Draw a workload of @p numThreads applications from the pool
+ * Draw a workload of @p numThreads applications from @p pool
  * (uniformly, with replacement — the paper builds 1..20-app
- * multiprogrammed mixes from the same 14 applications).
+ * multiprogrammed mixes from the same 14 applications). @p pool
+ * defaults to specApplications().
  */
-std::vector<const AppProfile *> randomWorkload(std::size_t numThreads,
-                                               Rng &rng);
+std::vector<const AppProfile *> randomWorkload(
+    std::size_t numThreads, Rng &rng,
+    const std::vector<AppProfile> *pool = nullptr);
 
 /**
  * Markov phase sequencer: tracks which phase an application instance
@@ -112,6 +126,9 @@ class PhaseSequencer
 
     /** Current phase. */
     const Phase &current() const;
+
+    /** Index of the current phase in the profile's phase set. */
+    std::size_t currentIndex() const { return index_; }
 
     /** Advance simulated time; may transition between phases. */
     void advance(double dtMs);

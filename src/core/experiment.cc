@@ -1,5 +1,6 @@
 #include "core/experiment.hh"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdlib>
 #include <optional>
@@ -17,6 +18,15 @@ envSize(const char *name, std::size_t fallback)
         return fallback;
     const long parsed = std::strtol(value, nullptr, 10);
     return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+bool
+envFlag(const char *name, bool fallback)
+{
+    const char *value = std::getenv(name);
+    if (value == nullptr || *value == '\0')
+        return fallback;
+    return !(value[0] == '0' && value[1] == '\0');
 }
 
 BatchConfig
@@ -54,7 +64,8 @@ runTuple(const BatchConfig &batch, const Die &die, std::size_t d,
          const std::vector<SystemConfig> &configs)
 {
     Rng workloadRng = workloadRngFor(batch, d, t);
-    const auto apps = randomWorkload(numThreads, workloadRng);
+    const auto apps =
+        randomWorkload(numThreads, workloadRng, batch.workloadPool);
     const std::uint64_t runSeed = workloadRng.next();
 
     TupleRuns runs;
@@ -141,6 +152,11 @@ runBatch(const BatchConfig &batch, std::size_t numThreads,
             result.physicsSec += runs[k].physicsSec;
             result.pmSec += runs[k].pmSec;
             result.schedSec += runs[k].schedSec;
+            result.exactTicks += runs[k].exactTicks;
+            result.sampledTicks += runs[k].sampledTicks;
+            result.estErrMax =
+                std::max(result.estErrMax, runs[k].estErr);
+            result.phaseInvalidations += runs[k].phaseInvalidations;
 
             auto &rel = result.relative[k];
             const SystemResult &base = runs[0];

@@ -42,6 +42,13 @@ struct BatchConfig
      * metric reduction always runs in serial tuple order.
      */
     std::size_t workerThreads = 0;
+
+    /**
+     * Application pool workloads draw from; nullptr (default) means
+     * specApplications(). Long-horizon benches point this at
+     * trafficApplications(). Must outlive the batch run.
+     */
+    const std::vector<AppProfile> *workloadPool = nullptr;
 };
 
 /**
@@ -68,6 +75,13 @@ BatchConfig defaultBatch(std::size_t dies, std::size_t trials);
 
 /** Read a positive size_t environment override. */
 std::size_t envSize(const char *name, std::size_t fallback);
+
+/**
+ * Read a boolean environment override: unset (or empty) yields
+ * @p fallback, "0" yields false, anything else true. envSize cannot
+ * express "explicitly off" — it folds 0 back into the fallback.
+ */
+bool envFlag(const char *name, bool fallback);
 
 /** Per-configuration absolute metrics (one sample per die x trial). */
 struct ConfigMetrics
@@ -111,6 +125,15 @@ struct BatchResult
     double physicsSec = 0.0; ///< Chip-evaluation time.
     double pmSec = 0.0;      ///< Power-manager time.
     double schedSec = 0.0;   ///< Scheduler time.
+
+    // Phase-sampling telemetry summed/maxed over every run (zero when
+    // sampling is off). Deterministic for a given batch config, but
+    // excluded from the bit-identity comparison like the timings, so
+    // toggling sampling telemetry never masks a metric divergence.
+    std::uint64_t exactTicks = 0;   ///< Ticks settled exactly.
+    std::uint64_t sampledTicks = 0; ///< Ticks extrapolated.
+    double estErrMax = 0.0;         ///< Worst run-level est_err.
+    std::uint64_t phaseInvalidations = 0; ///< Basis invalidations.
 };
 
 /**

@@ -107,6 +107,12 @@ class GuardedPowerManager : public PowerManager
 
     std::string name() const override;
     std::vector<int> selectLevels(const ChipSnapshot &snap) override;
+    void beginEpoch(std::uint64_t epochIndex) override
+    { primary_->beginEpoch(epochIndex); }
+    // The degraded tiers run the Foxton* fallback (always cheap), so
+    // the primary decides whether skipping decisions buys anything.
+    bool cheapDecision() const override
+    { return primary_->cheapDecision(); }
 
     /**
      * Feedback path: report the physically settled chip state (the

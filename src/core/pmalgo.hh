@@ -14,6 +14,7 @@
 #ifndef VARSCHED_CORE_PMALGO_HH
 #define VARSCHED_CORE_PMALGO_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -49,6 +50,31 @@ class PowerManager
      * @return One level per snap.cores entry.
      */
     virtual std::vector<int> selectLevels(const ChipSnapshot &snap) = 0;
+
+    /**
+     * Announce the DVFS epoch the next selectLevels call decides for.
+     * Stochastic managers derive their randomness from it so that a
+     * decision is a pure function of (config, epoch, snapshot) — the
+     * phase-sampled engine relies on this to evaluate an arbitrary
+     * subset of epochs and still agree with the exact run on the
+     * epochs it does evaluate. Deterministic managers ignore it.
+     */
+    virtual void beginEpoch(std::uint64_t epochIndex) { (void)epochIndex; }
+
+    /**
+     * True when one selectLevels call costs about as much as taking
+     * the snapshot itself (greedy walks, table lookups). The
+     * phase-sampled engine keeps running such managers on every
+     * epoch instead of skipping decisions: skipping buys no wall
+     * time — the post-decision settle is a condition-cache hit in a
+     * steady phase — but it does freeze the noise-driven dither by
+     * which a quantised controller explores adjacent fixpoints, and
+     * on sparse chips (where one level step is a large power
+     * quantum) that locks in a systematic trajectory bias instead of
+     * zero-mean noise. Expensive optimisers return false and are
+     * sampled; that is where the wall time is.
+     */
+    virtual bool cheapDecision() const { return false; }
 };
 
 /** No power management: every core at the top level (NUniFreq). */
@@ -57,6 +83,7 @@ class MaxLevelManager : public PowerManager
   public:
     std::string name() const override { return "MaxLevel"; }
     std::vector<int> selectLevels(const ChipSnapshot &snap) override;
+    bool cheapDecision() const override { return true; }
 };
 
 /**
@@ -68,6 +95,7 @@ class FoxtonStarManager : public PowerManager
   public:
     std::string name() const override { return "Foxton*"; }
     std::vector<int> selectLevels(const ChipSnapshot &snap) override;
+    bool cheapDecision() const override { return true; }
 };
 
 } // namespace varsched

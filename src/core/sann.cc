@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "solver/annealing.hh"
+#include "solver/rng.hh"
 
 namespace varsched
 {
@@ -178,7 +179,7 @@ SAnnManager::selectLevels(const ChipSnapshot &snap)
     opts.maxEvals = config_.maxEvals;
     // The paper raises the initial AT with problem complexity.
     opts.initialTemp = config_.tempPerThread * static_cast<double>(n);
-    opts.seed = config_.seed;
+    opts.seed = epochSeeded_ ? epochSeed_ : config_.seed;
 
     const std::vector<int> levelBounds(n, numLevels);
     AnnealResult result =
@@ -192,6 +193,13 @@ SAnnManager::selectLevels(const ChipSnapshot &snap)
     if (!energy.bestFeasible().empty())
         return energy.bestFeasible();
     return initial;
+}
+
+void
+SAnnManager::beginEpoch(std::uint64_t epochIndex)
+{
+    epochSeed_ = deriveSeed(config_.seed, 0xA55A, epochIndex);
+    epochSeeded_ = true;
 }
 
 } // namespace varsched

@@ -117,12 +117,21 @@ class SAnnManager : public PowerManager
     std::string name() const override { return "SAnn"; }
     std::vector<int> selectLevels(const ChipSnapshot &snap) override;
 
+    /**
+     * Derive the annealing seed from (config seed, epoch) so each
+     * epoch's decision is independent of how many earlier epochs were
+     * actually evaluated (phase-sampled engine contract).
+     */
+    void beginEpoch(std::uint64_t epochIndex) override;
+
     /** Evaluations consumed by the last invocation. */
     std::size_t lastEvals() const { return lastEvals_; }
 
   private:
     SAnnConfig config_;
     std::size_t lastEvals_ = 0;
+    std::uint64_t epochSeed_ = 0;
+    bool epochSeeded_ = false;
 };
 
 } // namespace varsched

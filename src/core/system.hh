@@ -24,6 +24,7 @@
 #include "core/pmalgo.hh"
 #include "core/sched.hh"
 #include "fault/fault.hh"
+#include "runtime/phase.hh"
 
 namespace varsched
 {
@@ -128,6 +129,18 @@ struct SystemConfig
 
     /** Guard tuning (used when guardedPm is set). */
     GuardConfig guard;
+
+    /**
+     * Phase-sampled engine (runtime/phase.hh): detect steady workload
+     * phases online and evaluate only a sampled subset of DVFS epochs,
+     * extrapolating the rest from the settled condition. Off by
+     * default (the exact legacy tick loop). When enabled with
+     * VARSCHED_BENCH_COMPARE=1 in the environment, run() re-runs the
+     * exact reference and aborts if power/energy/ED^2 diverge beyond
+     * the error budget (PR 2 guard idiom). Requires steady-state
+     * thermal mode and no guardedPm (both need every tick settled).
+     */
+    PhaseSamplingConfig phaseSampling;
 };
 
 /**
@@ -209,6 +222,25 @@ struct SystemResult
     double physicsSec = 0.0; ///< Chip evaluation time.
     double pmSec = 0.0;      ///< Power-manager time.
     double schedSec = 0.0;   ///< Scheduler time.
+
+    // Phase-sampling telemetry (zero when phaseSampling is off).
+
+    /** Ticks settled exactly (all ticks when sampling is off). */
+    std::uint64_t exactTicks = 0;
+    /** Ticks extrapolated from a frozen steady-phase basis. */
+    std::uint64_t sampledTicks = 0;
+    /**
+     * Estimated relative error introduced by extrapolation: the
+     * tick-weighted mean of the checkpoint errors observed whenever
+     * an exact settle replaced an extrapolated state.
+     */
+    double estErr = 0.0;
+    /** Basis invalidations + forced resamples (all causes). */
+    std::uint64_t phaseInvalidations = 0;
+    /** DVFS epochs evaluated end-to-end. */
+    std::uint64_t evaluatedEpochs = 0;
+    /** DVFS epochs extrapolated from the frozen basis. */
+    std::uint64_t extrapolatedEpochs = 0;
 };
 
 /** Drives one workload on one die under one configuration. */
@@ -225,10 +257,35 @@ class SystemSimulator
                     std::vector<const AppProfile *> apps,
                     const SystemConfig &config);
 
-    /** Run the configured duration and aggregate the metrics. */
+    /**
+     * Run the configured duration and aggregate the metrics. With
+     * phaseSampling enabled this is the sampled engine; additionally
+     * setting VARSCHED_BENCH_COMPARE=1 re-runs the exact reference
+     * and aborts when the sampled power/energy/ED^2 fall outside the
+     * error budget (with a budget of 0 they must be bit-identical).
+     */
     SystemResult run();
 
   private:
+    /** How runImpl drives the tick loop. */
+    enum class RunMode
+    {
+        /** Exact loop, sequential RNG streams (pre-sampling). */
+        Legacy,
+        /** Phase-sampled loop, per-epoch RNG streams. */
+        Sampled,
+        /**
+         * Exact loop on per-epoch RNG streams: what Sampled converges
+         * to as the error budget goes to 0, and the reference the
+         * VARSCHED_BENCH_COMPARE guard checks against.
+         */
+        ExactReference,
+    };
+
+    SystemResult runImpl(RunMode mode);
+    /** Fresh manager/guard, so guard reference runs start clean. */
+    void rebuildManager();
+
     const Die &die_;
     std::vector<const AppProfile *> apps_;
     SystemConfig config_;

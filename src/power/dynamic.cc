@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "runtime/simd.hh"
+
 namespace varsched
 {
 
@@ -31,8 +33,13 @@ DynamicPowerModel::corePower(const ActivityVector &activity, double v,
     const double fScale = f / params_.nominalFreqHz;
 
     double sum = params_.clockTreeW;
-    for (std::size_t u = 0; u < kNumCoreUnits; ++u)
-        sum += params_.unitMaxW[u] * activity[u];
+    if (simd::enabled()) {
+        sum += simd::dot(params_.unitMaxW.data(), activity.data(),
+                         kNumCoreUnits);
+    } else {
+        for (std::size_t u = 0; u < kNumCoreUnits; ++u)
+            sum += params_.unitMaxW[u] * activity[u];
+    }
     return sum * vScale * fScale;
 }
 
@@ -47,8 +54,13 @@ DynamicPowerModel::calibrateActivity(const ActivityVector &shape,
                                      double targetW) const
 {
     double shapeW = 0.0;
-    for (std::size_t u = 0; u < kNumCoreUnits; ++u)
-        shapeW += params_.unitMaxW[u] * shape[u];
+    if (simd::enabled()) {
+        shapeW = simd::dot(params_.unitMaxW.data(), shape.data(),
+                           kNumCoreUnits);
+    } else {
+        for (std::size_t u = 0; u < kNumCoreUnits; ++u)
+            shapeW += params_.unitMaxW[u] * shape[u];
+    }
     assert(shapeW > 0.0);
 
     const double s = std::max(0.0, targetW - params_.clockTreeW) / shapeW;

@@ -100,6 +100,14 @@ class WearoutTracker
     const WearoutModel *model_;
     std::vector<double> damageMs_; ///< rate-weighted milliseconds
     double elapsedMs_ = 0.0;
+    // agingRate is an exp + pow per core per tick, but (temp, vdd)
+    // only changes when the operating point does — memoise the last
+    // rate per core. Exact (keyed on bitwise equality), so results
+    // are unchanged.
+    std::vector<double> lastTempC_;
+    std::vector<double> lastVdd_;
+    std::vector<double> lastRate_;
+    bool memoValid_ = false;
 };
 
 } // namespace varsched

@@ -21,10 +21,16 @@
 #define VARSCHED_RUNTIME_ARENA_HH
 
 #include <cstddef>
+#include <cstdlib>
 #include <memory>
+#include <new>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
 
 namespace varsched
 {
@@ -106,10 +112,55 @@ class BumpArena
 
   private:
     static constexpr std::size_t kAlign = 64;
+    static constexpr std::size_t kHugePageBytes = std::size_t{1} << 21;
+
+    /**
+     * Opt-in transparent-hugepage backing (VARSCHED_HUGEPAGES=1): the
+     * noise planes are multi-megabyte and live for the whole sweep, so
+     * 2 MB pages cut dTLB misses in the circulant-row walks. Strictly
+     * best-effort — anything that fails (no aligned memory, no
+     * madvise, non-Linux host) falls back to the plain new[] path.
+     */
+    static bool
+    hugePagesRequested()
+    {
+        static const bool on = [] {
+            const char *env = std::getenv("VARSCHED_HUGEPAGES");
+            return env != nullptr && env[0] == '1' && env[1] == '\0';
+        }();
+        return on;
+    }
+
+    struct BlockDeleter
+    {
+        // Explicit ctors, not an NSDMI: nested-class default member
+        // initialisers are late-parsed in the outermost class's
+        // complete-class context, which would leave the deleter
+        // non-default-constructible right where Block needs it.
+        constexpr BlockDeleter() noexcept : hugeAligned(false) {}
+        constexpr explicit BlockDeleter(bool huge) noexcept
+            : hugeAligned(huge)
+        {
+        }
+
+        void
+        operator()(std::byte *p) const
+        {
+            if (hugeAligned)
+                ::operator delete[](p,
+                                    std::align_val_t{kHugePageBytes});
+            else
+                delete[] p;
+        }
+
+        bool hugeAligned;
+    };
+
+    using BlockPtr = std::unique_ptr<std::byte[], BlockDeleter>;
 
     struct Block
     {
-        std::unique_ptr<std::byte[]> data;
+        BlockPtr data;
         std::size_t size = 0;
         std::size_t used = 0;
     };
@@ -134,7 +185,22 @@ class BumpArena
         // allocations, not a hard alignment requirement.
         Block fresh;
         fresh.size = std::max(blockBytes_, rounded);
-        fresh.data.reset(new std::byte[fresh.size]);
+        if (hugePagesRequested()) {
+            fresh.size =
+                (fresh.size + kHugePageBytes - 1) & ~(kHugePageBytes - 1);
+            auto *p = static_cast<std::byte *>(::operator new[](
+                fresh.size, std::align_val_t{kHugePageBytes},
+                std::nothrow));
+            if (p != nullptr) {
+#if defined(__linux__) && defined(MADV_HUGEPAGE)
+                ::madvise(p, fresh.size, MADV_HUGEPAGE);
+#endif
+                fresh.data = BlockPtr(p, BlockDeleter(true));
+            }
+        }
+        if (!fresh.data)
+            fresh.data =
+                BlockPtr(new std::byte[fresh.size], BlockDeleter(false));
         fresh.used = rounded;
         blocks_.push_back(std::move(fresh));
         active_ = blocks_.size() - 1;

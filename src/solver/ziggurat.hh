@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Ziggurat sampler for the standard normal distribution (Doornik's
+ * ZIGNOR layout, 128 layers).
+ *
+ * Box-Muller — what Rng::normal uses — spends a log, a sqrt and a
+ * sin/cos pair per two draws, which is fine for manufacturing a die
+ * once but dominates the annealer's proposal kernel, where a Gaussian
+ * step is drawn per moved coordinate for tens of thousands of
+ * proposals per decision. The ziggurat covers ~97% of draws with two
+ * raw generator words and one compare; only wedge and tail draws
+ * (~3%) touch exp/log. The sampled distribution is exactly standard
+ * normal — layer edges are computed so every rectangle has equal
+ * area, wedges are rejection-sampled under the true density, and the
+ * tail beyond r = 3.4426 uses Marsaglia's exact exponential method.
+ *
+ * Rng::normal is left untouched on purpose: its draw sequence feeds
+ * the variation-map and workload generators, whose outputs must stay
+ * bit-identical across the codebase's history of results.
+ */
+
+#ifndef VARSCHED_SOLVER_ZIGGURAT_HH
+#define VARSCHED_SOLVER_ZIGGURAT_HH
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "solver/rng.hh"
+
+namespace varsched
+{
+
+/** Standard-normal ziggurat; construct once, draw many. */
+class ZigguratNormal
+{
+  public:
+    ZigguratNormal()
+    {
+        // Layer-edge recurrence: x_[0] is the pseudo-edge of the
+        // bottom layer (area v spread over f(r)), x_[1] = r is the
+        // tail start, and each further edge encloses area v between
+        // consecutive density slices.
+        constexpr double r = kTailStart;
+        constexpr double v = 9.91256303526217e-3;
+        double f = std::exp(-0.5 * r * r);
+        x_[0] = v / f;
+        x_[1] = r;
+        x_[kLayers] = 0.0;
+        for (std::size_t i = 2; i < kLayers; ++i) {
+            x_[i] = std::sqrt(-2.0 * std::log(v / x_[i - 1] + f));
+            f = std::exp(-0.5 * x_[i] * x_[i]);
+        }
+        for (std::size_t i = 0; i < kLayers; ++i)
+            ratio_[i] = x_[i + 1] / x_[i];
+    }
+
+    /** One standard-normal draw using @p rng's raw words. */
+    double
+    draw(Rng &rng) const
+    {
+        for (;;) {
+            const double u = 2.0 * rng.uniform() - 1.0;
+            const std::size_t i =
+                static_cast<std::size_t>(rng.next()) & (kLayers - 1);
+            // Rectangular core of the layer: accept outright.
+            if (std::abs(u) < ratio_[i])
+                return u * x_[i];
+            if (i == 0)
+                return tail(rng, u < 0.0);
+            // Wedge: rejection-sample under the true density between
+            // this layer's edge and the next.
+            const double x = u * x_[i];
+            const double f0 =
+                std::exp(-0.5 * (x_[i] * x_[i] - x * x));
+            const double f1 =
+                std::exp(-0.5 * (x_[i + 1] * x_[i + 1] - x * x));
+            if (f1 + rng.uniform() * (f0 - f1) < 1.0)
+                return x;
+        }
+    }
+
+  private:
+    static constexpr std::size_t kLayers = 128;
+    static constexpr double kTailStart = 3.442619855899;
+
+    /** Exact draw from the normal tail beyond kTailStart. */
+    double
+    tail(Rng &rng, bool negative) const
+    {
+        double x = 0.0, y = 0.0;
+        do {
+            double u1 = rng.uniform();
+            while (u1 == 0.0)
+                u1 = rng.uniform();
+            x = std::log(u1) / kTailStart;
+            double u2 = rng.uniform();
+            while (u2 == 0.0)
+                u2 = rng.uniform();
+            y = std::log(u2);
+        } while (-2.0 * y < x * x);
+        return negative ? x - kTailStart : kTailStart - x;
+    }
+
+    double x_[kLayers + 1];
+    double ratio_[kLayers];
+};
+
+} // namespace varsched
+
+#endif // VARSCHED_SOLVER_ZIGGURAT_HH

@@ -2,11 +2,13 @@
 # CI-style smoke of the VARSCHED_NATIVE configuration: configure a
 # separate host-tuned build, build it, run the fast test tiers (unit
 # tests + bench smokes, including the simd_forced_scalar fallback
-# configuration), then run the four manufacture-bound benches at full
-# paper scale and gate them against the committed BENCH_PR5.json
-# baseline — a hard (non-informational) regression gate, so a perf
-# regression on the SIMD/runtime path fails this script. Keeps the
-# default build directory untouched. Usage:
+# configuration and the sampling_guard sampled-vs-exact tier), then
+# run the perf-gated benches at full paper scale — the four
+# manufacture-bound ones plus the phase-sampled system benches
+# (fig13/fig14/longhorizon) — and gate them against the committed
+# BENCH_PR8.json baseline — a hard (non-informational) regression
+# gate, so a perf regression on the SIMD/runtime/sampling path fails
+# this script. Keeps the default build directory untouched. Usage:
 #   tools/ci_native.sh [build-dir]        # default: build-native
 set -eu
 
@@ -17,6 +19,11 @@ cmake -B "$build" -S "$repo" -DVARSCHED_NATIVE=ON
 cmake --build "$build" -j
 ctest --test-dir "$build" --output-on-failure -j
 
+# Explicit pass over the sampled-vs-exact guard tier: every sampled
+# bench re-runs against its exact reference (VARSCHED_BENCH_COMPARE=1
+# aborts beyond the error budget).
+ctest --test-dir "$build" -L sampling_guard --output-on-failure
+
 # Full-scale perf gate: the mfg-bound benches write a fresh JSON which
 # must validate and must not have regressed against the committed
 # baseline. The gate runs *without* VARSCHED_BENCH_COMPARE: the
@@ -26,9 +33,11 @@ ctest --test-dir "$build" --output-on-failure -j
 gate_json="$build/BENCH_GATE.json"
 rm -f "$gate_json"
 for bench in bench_ext_yield bench_fig04_variation \
-             bench_fig05_sigma_sweep bench_ext_abb; do
+             bench_fig05_sigma_sweep bench_ext_abb \
+             bench_fig13_weighted bench_fig14_granularity \
+             bench_ext_longhorizon; do
     VARSCHED_BENCH_JSON="$gate_json" \
         "$build/bench/$bench" > /dev/null
 done
 "$build/tools/validate_bench_json" "$gate_json"
-"$build/tools/compare_bench_json" "$repo/BENCH_PR5.json" "$gate_json"
+"$build/tools/compare_bench_json" "$repo/BENCH_PR8.json" "$gate_json"

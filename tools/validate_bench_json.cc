@@ -22,6 +22,11 @@
  *   mfg_s          number >= 0 (die-manufacture seconds), or null;
  *                  must be non-null for the die-population benches
  *                  (they route their lots through runDies())
+ *   exact_ticks    integer >= 0 (ticks settled exactly)
+ *   sampled_ticks  integer >= 0 (ticks extrapolated by the
+ *                  phase-sampled engine; 0 when sampling is off)
+ *   est_err        number in [0, 1] (worst run-level estimated
+ *                  relative error introduced by extrapolation)
  *   cg_free_thermal  true
  *
  * Exit 0 when every entry conforms (and at least one exists).
@@ -158,6 +163,22 @@ validateEntry(std::size_t index, const std::string &object,
         rawValue(object, "mfg_s") == "null")
         return fail(index, "\"mfg_s\" must be non-null for "
                            "die-population benches");
+
+    // Phase-sampling telemetry (PR 8+ entries).
+    const auto isCount = [&](const char *key) {
+        const std::string v = rawValue(object, key);
+        char *tail = nullptr;
+        const long long n = std::strtoll(v.c_str(), &tail, 10);
+        return !v.empty() && tail != nullptr && *tail == '\0' && n >= 0;
+    };
+    if (!isCount("exact_ticks"))
+        return fail(index, "\"exact_ticks\" must be an integer >= 0");
+    if (!isCount("sampled_ticks"))
+        return fail(index, "\"sampled_ticks\" must be an integer >= 0");
+    if (!isNumber(rawValue(object, "est_err"), false, true))
+        return fail(index, "\"est_err\" must be a number >= 0");
+    if (std::strtod(rawValue(object, "est_err").c_str(), nullptr) > 1.0)
+        return fail(index, "\"est_err\" must be <= 1");
 
     if (rawValue(object, "cg_free_thermal") != "true")
         return fail(index, "\"cg_free_thermal\" must be true");
