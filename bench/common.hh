@@ -35,6 +35,7 @@
 
 #include "core/experiment.hh"
 #include "runtime/diepop.hh"
+#include "runtime/metrics.hh"
 #include "runtime/orchestrator.hh"
 #include "runtime/threadpool.hh"
 
@@ -243,9 +244,9 @@ class PerfRecorder
             std::snprintf(mfg, sizeof mfg, "%.6f", mfgSec_);
         else
             std::snprintf(mfg, sizeof mfg, "null");
-        char entry[1024];
+        char head[1024];
         std::snprintf(
-            entry, sizeof entry,
+            head, sizeof head,
             "{\"bench\": \"%s\", \"threads\": %zu, "
             "\"parallel_s\": %.6f, \"serial_s\": %s, "
             "\"speedup\": %s, \"physics_s\": %.6f, "
@@ -254,12 +255,26 @@ class PerfRecorder
             "\"sched_cpu_s\": %.6f, "
             "\"mfg_s\": %s, "
             "\"exact_ticks\": %llu, \"sampled_ticks\": %llu, "
-            "\"est_err\": %.6f, \"cg_free_thermal\": true}",
+            "\"est_err\": %.6f, \"cg_free_thermal\": true",
             name_.c_str(), configuredThreads(), parallel, serial,
             speedup, physicsSec_, pmSec_, schedSec_, physicsCpuSec_,
             pmCpuSec_, schedCpuSec_, mfg,
             static_cast<unsigned long long>(exactTicks_),
             static_cast<unsigned long long>(sampledTicks_), estErr_);
+        // The process-wide registry carries everything the
+        // instruments recorded (trial_ms/die_ms histograms, pool and
+        // SAnn counters); stamp the process peak RSS and the arena
+        // bytes served in alongside, then serialize the lot as this
+        // entry's `metrics` object.
+        metrics::Registry &reg = metrics::Registry::global();
+        reg.gauge("peak_rss_kb").set(metrics::peakRssKb());
+        reg.gauge("arena_bytes")
+            .set(static_cast<double>(arenaBytesServed().load(
+                std::memory_order_relaxed)));
+        std::string entry(head);
+        entry += ", \"metrics\": ";
+        entry += reg.toJson();
+        entry += "}";
         mergeJson(entry);
     }
 
@@ -295,12 +310,17 @@ class PerfRecorder
 
         std::vector<std::string> kept;
         bool corrupt = false;
-        if (std::FILE *in = std::fopen(path.c_str(), "r")) {
-            char line[1024];
+        std::string text;
+        if (readWholeFile(path, text)) {
             const std::string marker =
                 "\"bench\": \"" + name_ + "\"";
-            while (std::fgets(line, sizeof line, in)) {
-                std::string s(line);
+            std::size_t begin = 0;
+            while (begin < text.size()) {
+                std::size_t end = text.find('\n', begin);
+                if (end == std::string::npos)
+                    end = text.size();
+                std::string s = text.substr(begin, end - begin);
+                begin = end + 1;
                 while (!s.empty() &&
                        (s.back() == '\n' || s.back() == '\r' ||
                         s.back() == ','))
@@ -324,9 +344,6 @@ class PerfRecorder
                     continue; // stale entry for this bench
                 kept.push_back(s.substr(brace));
             }
-            if (std::ferror(in) || std::feof(in) == 0)
-                corrupt = true; // oversized line: not our format
-            std::fclose(in);
         }
         if (corrupt) {
             // Quarantine the unparseable file and start fresh rather

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cstdlib>
 #include <optional>
 
+#include "runtime/metrics.hh"
 #include "runtime/threadpool.hh"
+#include "runtime/trace.hh"
 
 namespace varsched
 {
@@ -68,13 +71,24 @@ runTuple(const BatchConfig &batch, const Die &die, std::size_t d,
         randomWorkload(numThreads, workloadRng, batch.workloadPool);
     const std::uint64_t runSeed = workloadRng.next();
 
+    static metrics::Histogram &trialMs =
+        metrics::Registry::global().histogram("trial_ms");
+
     TupleRuns runs;
     runs.reserve(configs.size());
     for (const SystemConfig &proto : configs) {
         SystemConfig config = proto;
         config.seed = runSeed; // identical across configs
         SystemSimulator sim(die, apps, config);
-        runs.push_back(sim.run());
+        const auto start = std::chrono::steady_clock::now();
+        {
+            TRACE_SCOPE("experiment.trial");
+            runs.push_back(sim.run());
+        }
+        trialMs.record(
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - start)
+                .count());
     }
     return runs;
 }

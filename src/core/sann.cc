@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "runtime/metrics.hh"
 #include "solver/annealing.hh"
 #include "solver/rng.hh"
 
@@ -185,6 +186,19 @@ SAnnManager::selectLevels(const ChipSnapshot &snap)
     AnnealResult result =
         annealMinimize(initial, levelBounds, energy, opts);
     lastEvals_ = result.evals;
+    {
+        static metrics::Counter &evals =
+            metrics::Registry::global().counter("sann.evals");
+        static metrics::Counter &accepted =
+            metrics::Registry::global().counter("sann.accepted");
+        static metrics::Counter &rejected =
+            metrics::Registry::global().counter("sann.rejected");
+        evals.add(result.evals);
+        accepted.add(result.accepted);
+        rejected.add(result.evals >= result.accepted
+                         ? result.evals - result.accepted
+                         : 0);
+    }
 
     if (snap.feasible(result.best))
         return result.best;

@@ -12,6 +12,8 @@
 
 #include "solver/rng.hh"
 
+#include "runtime/trace.hh"
+
 #include "core/exhaustive.hh"
 #include "core/linopt.hh"
 #include "core/metrics.hh"
@@ -509,6 +511,7 @@ SystemSimulator::runImpl(RunMode mode)
             cond = steady;
             return;
         }
+        TRACE_SCOPE("physics.settle");
         evaluator_.evaluateInto(
             steady, work, coreLevels, uniFreq,
             config_.warmStartThermal && cacheValid ? &steady : nullptr);
@@ -600,8 +603,10 @@ SystemSimulator::runImpl(RunMode mode)
         for (std::size_t c = 0; c < numCores; ++c) {
             if (coreOk[c] && injector.coreFailed(c)) {
                 coreOk[c] = false;
-                if (sampledMode)
+                if (sampledMode) {
                     sampler.invalidate(PhaseInvalidation::Fault);
+                    TRACE_INSTANT("phase.invalidate.fault");
+                }
             }
         }
 
@@ -612,6 +617,7 @@ SystemSimulator::runImpl(RunMode mode)
         // remapped here (failed cores are masked out of the pools).
         if (tick % osPeriod == 0) {
             const auto t0 = now();
+            TRACE_SCOPE("sched.place");
             if (config_.sched == SchedAlgo::ThermalAware &&
                 haveCondition) {
                 assignment = scheduleThreadsThermal(
@@ -629,8 +635,10 @@ SystemSimulator::runImpl(RunMode mode)
             // the stale basis out on this very tick and the settled
             // state after the remap refreezes it.
             if (sampledMode && sampler.steady() &&
-                assignment != basisAssignment)
+                assignment != basisAssignment) {
                 sampler.resample(PhaseInvalidation::Remap);
+                TRACE_INSTANT("phase.resample.remap");
+            }
         }
         refreshWork();
         if (!haveCondition) {
@@ -638,6 +646,7 @@ SystemSimulator::runImpl(RunMode mode)
             // its sensors.
             const auto t0 = now();
             if (config_.transientThermal) {
+                TRACE_SCOPE("physics.settle");
                 cond = evaluator_.evaluate(work, coreLevels, uniFreq);
             } else {
                 settleSteady();
@@ -685,6 +694,9 @@ SystemSimulator::runImpl(RunMode mode)
                 physicsSec += Sec(now() - ts).count();
             }
             const auto t0 = now();
+            TRACE_SCOPE("pm.decide");
+            TRACE_INSTANT("pm.epoch", "epoch",
+                          static_cast<double>(epochIndex));
             Rng epochNoise(legacyMode
                                ? 0
                                : deriveSeed(config_.seed, 0x4E01,
@@ -729,6 +741,7 @@ SystemSimulator::runImpl(RunMode mode)
             haveBasisForEst = false;
             const auto t0 = now();
             if (config_.transientThermal) {
+                TRACE_SCOPE("physics.transient");
                 cond = evaluator_.evaluateTransient(
                     work, coreLevels, cond, config_.tickMs, uniFreq);
             } else {
@@ -818,6 +831,8 @@ SystemSimulator::runImpl(RunMode mode)
                         // represent it without bias, so evaluate
                         // exactly until the drift flattens out.
                         sampler.resample(PhaseInvalidation::DvfsChange);
+                        TRACE_INSTANT("phase.resample.ramp", "jump",
+                                      jump);
                         extrapCond = cond;
                         ctlErr = samplerCfg.basisBlend * jump;
                         ctlScored = true;
@@ -835,6 +850,8 @@ SystemSimulator::runImpl(RunMode mode)
                         // is unchanged, so steadiness is kept and no
                         // warmup is paid.
                         sampler.resample(PhaseInvalidation::DvfsChange);
+                        TRACE_INSTANT("phase.resample.regime", "jump",
+                                      jump);
                         extrapCond = cond;
                         ctlErr = samplerCfg.basisBlend * jump;
                         ctlScored = true;
@@ -860,6 +877,8 @@ SystemSimulator::runImpl(RunMode mode)
                     // period adaptation.
                     const double estErr =
                         metricErr(cond, prePowerW, preMips);
+                    TRACE_INSTANT("phase.checkpoint", "est_err",
+                                  estErr);
                     sampler.checkpoint(estErr, ctlErr, dvfsBoundary);
                 } else if (ctlScored) {
                     // Consecutive evaluated boundaries adapt the

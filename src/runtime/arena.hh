@@ -20,7 +20,9 @@
 #ifndef VARSCHED_RUNTIME_ARENA_HH
 #define VARSCHED_RUNTIME_ARENA_HH
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <cstdlib>
 #include <memory>
 #include <new>
@@ -34,6 +36,19 @@
 
 namespace varsched
 {
+
+/**
+ * Process-wide count of bytes served out of every BumpArena (after
+ * cache-line rounding). Observability only: PerfRecorder reports it as
+ * `arena_bytes` so a regression in arena reuse (e.g. a Scope leak
+ * forcing fresh blocks) shows up in the bench JSON.
+ */
+inline std::atomic<std::uint64_t> &
+arenaBytesServed()
+{
+    static std::atomic<std::uint64_t> bytes{0};
+    return bytes;
+}
 
 class BumpArena
 {
@@ -169,6 +184,8 @@ class BumpArena
     allocBytes(std::size_t bytes)
     {
         const std::size_t rounded = (bytes + kAlign - 1) & ~(kAlign - 1);
+        arenaBytesServed().fetch_add(rounded,
+                                     std::memory_order_relaxed);
         while (active_ < blocks_.size()) {
             Block &b = blocks_[active_];
             if (b.size - b.used >= rounded) {

@@ -26,6 +26,7 @@
 
 #include "chip/die.hh"
 #include "runtime/arena.hh"
+#include "runtime/metrics.hh"
 #include "runtime/threadpool.hh"
 #include "solver/rng.hh"
 
@@ -84,10 +85,23 @@ runDiePopulation(const DieParams &params,
     const std::size_t workers = std::min(
         workerOverride > 0 ? workerOverride : configuredThreads(),
         std::max<std::size_t>(seeds.size(), 1));
+    // Per-die manufacture+evaluate latency: the fan-out's unit of
+    // work, so its tail percentiles expose stragglers in the lot.
+    metrics::Histogram &dieMs =
+        metrics::Registry::global().histogram("die_ms");
+    const auto timedPerDie = [&](const Die &die, std::size_t i) {
+        const auto start = std::chrono::steady_clock::now();
+        auto result = perDie(die, i);
+        dieMs.record(std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - start)
+                         .count());
+        return result;
+    };
+
     if (workers <= 1) {
         for (std::size_t i = 0; i < seeds.size(); ++i) {
             const Die die(params, seeds[i]);
-            run.results[i] = perDie(die, i);
+            run.results[i] = timedPerDie(die, i);
         }
     } else {
         // Grain 1: manufacturing a die costs milliseconds, so
@@ -100,7 +114,7 @@ runDiePopulation(const DieParams &params,
             seeds.size(),
             [&](std::size_t i) {
                 const Die die(params, seeds[i]);
-                run.results[i] = perDie(die, i);
+                run.results[i] = timedPerDie(die, i);
             },
             1);
     }

@@ -1,5 +1,8 @@
 #include "runtime/orchestrator.hh"
 
+#include "runtime/metrics.hh"
+#include "runtime/trace.hh"
+
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
@@ -257,6 +260,8 @@ struct SweepOrchestrator::Child
     bool termSent = false;
     double termSentSec = 0.0;
     bool timedOut = false;
+    /** Trace-clock launch stamp (0 when tracing was off at launch). */
+    std::uint64_t traceStartNs = 0;
 };
 
 SweepOrchestrator::SweepOrchestrator(std::vector<SweepTask> tasks,
@@ -333,6 +338,11 @@ SweepOrchestrator::loadJournal()
         if (extractField(line, "corrupt_outputs", corruptOutputs))
             record.corruptOutputs =
                 std::strtoul(corruptOutputs.c_str(), nullptr, 10);
+        std::string busy, backoff;
+        if (extractField(line, "busy_s", busy))
+            record.busySec = std::strtod(busy.c_str(), nullptr);
+        if (extractField(line, "backoff_s", backoff))
+            record.backoffSec = std::strtod(backoff.c_str(), nullptr);
         loaded[id] = record;
     }
 
@@ -386,13 +396,17 @@ SweepOrchestrator::checkpoint()
            std::to_string(tasks_.size()) + "}\n";
     for (const SweepTask &task : tasks_) {
         const TaskRecord &r = records_[task.id];
+        char timing[96];
+        std::snprintf(timing, sizeof timing,
+                      ", \"busy_s\": %.9g, \"backoff_s\": %.9g}\n",
+                      r.busySec, r.backoffSec);
         out += "{\"task\": \"" + task.id + "\", \"state\": \"" +
                taskStateName(r.state) +
                "\", \"attempts\": " + std::to_string(r.attempts) +
                ", \"exit\": " + std::to_string(r.lastExit) +
                ", \"timeouts\": " + std::to_string(r.timeouts) +
                ", \"corrupt_outputs\": " +
-               std::to_string(r.corruptOutputs) + "}\n";
+               std::to_string(r.corruptOutputs) + timing;
     }
     const int lockFd = acquireSidecarLock(config_.journalPath);
     atomicWriteFile(config_.journalPath, out);
@@ -402,13 +416,23 @@ SweepOrchestrator::checkpoint()
 
 void
 SweepOrchestrator::finishTask(const std::string &id, int exitStatus,
-                              bool timedOut, double nowSec)
+                              bool timedOut, double nowSec,
+                              double attemptSec)
 {
     TaskRecord &record = records_[id];
     record.attempts += 1;
     record.lastExit = exitStatus;
+    record.busySec += std::max(attemptSec, 0.0);
     if (timedOut)
         record.timeouts += 1;
+
+    static metrics::Counter &attemptsCounter =
+        metrics::Registry::global().counter("sweep.attempts");
+    static metrics::Counter &timeoutsCounter =
+        metrics::Registry::global().counter("sweep.timeouts");
+    attemptsCounter.add();
+    if (timedOut)
+        timeoutsCounter.add();
 
     const SweepTask *task = nullptr;
     for (const SweepTask &t : tasks_)
@@ -441,6 +465,10 @@ SweepOrchestrator::finishTask(const std::string &id, int exitStatus,
     double &prev = prevDelay_[id];
     prev = config_.retry.nextDelay(prev, jitter);
     notBefore_[id] = nowSec + prev;
+    record.backoffSec += prev;
+    static metrics::Counter &retriesCounter =
+        metrics::Registry::global().counter("sweep.retries");
+    retriesCounter.add();
 }
 
 void
@@ -459,8 +487,13 @@ SweepOrchestrator::reapFinished(std::vector<Child> &running)
             exitStatus = WEXITSTATUS(status);
         else if (WIFSIGNALED(status))
             exitStatus = 128 + WTERMSIG(status);
+        const double nowSec = monoSeconds();
+        if (running[i].traceStartNs != 0 && trace::enabled())
+            trace::recordSpan("sweep.task", running[i].traceStartNs,
+                              trace::nowNs());
         finishTask(running[i].taskId, exitStatus,
-                   running[i].timedOut, monoSeconds());
+                   running[i].timedOut, nowSec,
+                   nowSec - running[i].startSec);
         running.erase(running.begin() +
                       static_cast<std::ptrdiff_t>(i));
         checkpoint();
@@ -531,6 +564,10 @@ SweepOrchestrator::launchEligible(std::vector<Child> &running,
         child.taskId = task.id;
         child.pid = pid;
         child.startSec = nowSec;
+        if (trace::enabled()) {
+            child.traceStartNs = trace::nowNs();
+            TRACE_INSTANT("sweep.launch");
+        }
         running.push_back(child);
         record.state = TaskState::Running;
         launches_ += 1;
@@ -652,30 +689,37 @@ SweepOrchestrator::writeManifest(const std::string &path,
                                  const SweepReport &report) const
 {
     std::size_t totalAttempts = 0;
+    double totalBusySec = 0.0, totalBackoffSec = 0.0;
     std::string out = "{\n  \"tasks\": [\n";
     for (std::size_t i = 0; i < tasks_.size(); ++i) {
         const TaskRecord &r = records_.at(tasks_[i].id);
         totalAttempts += r.attempts;
-        char line[512];
+        totalBusySec += r.busySec;
+        totalBackoffSec += r.backoffSec;
+        char line[640];
         std::snprintf(line, sizeof line,
                       "    {\"task\": \"%s\", \"state\": \"%s\", "
                       "\"attempts\": %zu, \"exit\": %d, "
-                      "\"timeouts\": %zu, \"corrupt_outputs\": %zu}%s\n",
+                      "\"timeouts\": %zu, \"corrupt_outputs\": %zu, "
+                      "\"busy_s\": %.9g, \"backoff_s\": %.9g}%s\n",
                       tasks_[i].id.c_str(),
                       taskStateName(r.state), r.attempts, r.lastExit,
-                      r.timeouts, r.corruptOutputs,
+                      r.timeouts, r.corruptOutputs, r.busySec,
+                      r.backoffSec,
                       i + 1 < tasks_.size() ? "," : "");
         out += line;
     }
-    char totals[256];
+    char totals[384];
     std::snprintf(totals, sizeof totals,
                   "  ],\n  \"done\": %zu,\n  \"failed\": %zu,\n"
                   "  \"pending\": %zu,\n  \"launches\": %zu,\n"
                   "  \"prior_attempts\": %zu,\n"
                   "  \"total_attempts\": %zu,\n"
+                  "  \"busy_s\": %.9g,\n  \"backoff_s\": %.9g,\n"
                   "  \"interrupted\": %s\n}\n",
                   report.done, report.failed, report.pending,
                   report.launches, priorAttempts_, totalAttempts,
+                  totalBusySec, totalBackoffSec,
                   report.interrupted ? "true" : "false");
     out += totals;
     return atomicWriteFile(path, out);

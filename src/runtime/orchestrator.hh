@@ -84,6 +84,11 @@ struct TaskRecord
     std::size_t timeouts = 0;
     /** Runs whose output file failed validation. */
     std::size_t corruptOutputs = 0;
+    /** Wall-clock seconds spent across completed runs of this task
+     *  (journaled, so resumed sweeps keep accumulating). */
+    double busySec = 0.0;
+    /** Retry-backoff seconds this task was held before re-launches. */
+    double backoffSec = 0.0;
 };
 
 /** Orchestrator knobs. */
@@ -234,7 +239,7 @@ class SweepOrchestrator
     void launchEligible(std::vector<Child> &running, double nowSec);
     void terminateAll(std::vector<Child> &running);
     void finishTask(const std::string &id, int exitStatus,
-                    bool timedOut, double nowSec);
+                    bool timedOut, double nowSec, double attemptSec);
 
     std::vector<SweepTask> tasks_;
     OrchestratorConfig config_;

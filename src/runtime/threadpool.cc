@@ -1,6 +1,11 @@
 #include "runtime/threadpool.hh"
 
+#include "runtime/metrics.hh"
+#include "runtime/trace.hh"
+
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
 
@@ -18,6 +23,48 @@ namespace
  */
 thread_local const ThreadPool *tlPool = nullptr;
 thread_local std::size_t tlWorker = 0;
+
+/** Pool-wide scheduling metrics (process registry handles, looked up
+ *  once; recording is a relaxed atomic add). */
+struct PoolMetrics
+{
+    metrics::Counter &popOwn;
+    metrics::Counter &popInject;
+    metrics::Counter &steal;
+    metrics::Counter &stealRemote;
+    metrics::Counter &busyNs;
+    metrics::Gauge &queueDepth;
+
+    static PoolMetrics &
+    get()
+    {
+        static PoolMetrics m{
+            metrics::Registry::global().counter("pool.pop_own"),
+            metrics::Registry::global().counter("pool.pop_inject"),
+            metrics::Registry::global().counter("pool.steal"),
+            metrics::Registry::global().counter("pool.steal_remote"),
+            metrics::Registry::global().counter("pool.busy_ns"),
+            metrics::Registry::global().gauge("pool.queue_depth"),
+        };
+        return m;
+    }
+};
+
+/** Static "pool-worker-N" strings (the tracer stores the pointer). */
+const char *
+workerName(std::size_t index)
+{
+    constexpr std::size_t kNames = 64;
+    static char names[kNames][20];
+    static std::once_flag flags[kNames];
+    if (index >= kNames)
+        return "pool-worker";
+    std::call_once(flags[index], [index]() {
+        std::snprintf(names[index], sizeof names[index],
+                      "pool-worker-%zu", index);
+    });
+    return names[index];
+}
 
 } // namespace
 
@@ -91,7 +138,9 @@ void
 ThreadPool::enqueueTask(std::function<void()> task)
 {
     inFlight_.fetch_add(1, std::memory_order_relaxed);
-    pending_.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t depth =
+        pending_.fetch_add(1, std::memory_order_relaxed) + 1;
+    PoolMetrics::get().queueDepth.set(static_cast<double>(depth));
     if (tlPool == this) {
         Worker &own = *perWorker_[tlWorker];
         std::lock_guard<std::mutex> lock(own.mutex);
@@ -107,7 +156,11 @@ void
 ThreadPool::pushToWorker(std::size_t index, std::function<void()> task)
 {
     inFlight_.fetch_add(1, std::memory_order_relaxed);
-    pending_.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t depth =
+        pending_.fetch_add(1, std::memory_order_relaxed) + 1;
+    PoolMetrics &pm = PoolMetrics::get();
+    pm.queueDepth.set(static_cast<double>(depth));
+    TRACE_COUNTER("pool.queue_depth", static_cast<double>(depth));
     {
         Worker &worker = *perWorker_[index];
         std::lock_guard<std::mutex> lock(worker.mutex);
@@ -126,6 +179,7 @@ ThreadPool::tryPop(std::size_t self, std::function<void()> &out)
         if (!own.deque.empty()) {
             out = std::move(own.deque.back());
             own.deque.pop_back();
+            PoolMetrics::get().popOwn.add();
             return true;
         }
     }
@@ -135,6 +189,7 @@ ThreadPool::tryPop(std::size_t self, std::function<void()> &out)
         if (!injectQueue_.empty()) {
             out = std::move(injectQueue_.front());
             injectQueue_.pop_front();
+            PoolMetrics::get().popInject.add();
             return true;
         }
     }
@@ -156,6 +211,13 @@ ThreadPool::tryPop(std::size_t self, std::function<void()> &out)
             if (!victim.deque.empty()) {
                 out = std::move(victim.deque.front());
                 victim.deque.pop_front();
+                PoolMetrics &pm = PoolMetrics::get();
+                pm.steal.add();
+                if (!sameNode)
+                    pm.stealRemote.add();
+                TRACE_COUNTER(
+                    "pool.steals",
+                    static_cast<double>(pm.steal.value()));
                 return true;
             }
         }
@@ -173,7 +235,17 @@ ThreadPool::workerLoop(std::size_t index)
     for (;;) {
         if (tryPop(index, task)) {
             pending_.fetch_sub(1, std::memory_order_relaxed);
-            task(); // packaged_task / chunk wrappers capture throws
+            if (trace::enabled())
+                trace::setThreadName(workerName(index));
+            const auto busyStart = std::chrono::steady_clock::now();
+            {
+                TRACE_SCOPE("pool.task");
+                task(); // packaged_task / chunk wrappers capture throws
+            }
+            PoolMetrics::get().busyNs.add(static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - busyStart)
+                    .count()));
             task = nullptr;
             if (inFlight_.fetch_sub(1, std::memory_order_acq_rel) ==
                     1 &&

@@ -454,6 +454,73 @@ TEST_F(SweepOrchestratorTest, JournaledRunningTaskIsRerunOnResume)
     std::remove((journal + ".lock").c_str());
 }
 
+TEST_F(SweepOrchestratorTest, BusyAndBackoffTotalsMergeAcrossResume)
+{
+    const std::string out = tempPath("orch_timing.json");
+    const std::string journal = tempPath("orch_timing_journal.jsonl");
+    std::remove(out.c_str());
+
+    // Journal from a kill -9'd orchestrator: the task was in flight
+    // with one attempt charged, 1.5 s of worker wall time spent and
+    // 0.25 s already slept in retry backoff.
+    writeFile(journal,
+              "{\"journal\": \"varsched_sweep\", \"tasks\": 1}\n"
+              "{\"task\": \"timed\", \"state\": \"running\", "
+              "\"attempts\": 1, \"exit\": 0, \"timeouts\": 0, "
+              "\"corrupt_outputs\": 0, \"busy_s\": 1.5, "
+              "\"backoff_s\": 0.25}\n");
+
+    // The resumed attempt fails once (accruing fresh backoff on top
+    // of the journaled total) and then succeeds.
+    const std::string marker = tempPath("orch_timing.marker");
+    std::remove(marker.c_str());
+    char script[512];
+    std::snprintf(script, sizeof script,
+                  "if [ -f %s ]; then printf '{\"done\": 1}' > %s; "
+                  "else touch %s; exit 1; fi",
+                  marker.c_str(), out.c_str(), marker.c_str());
+
+    SweepOrchestrator orch({shellTask("timed", script, out)},
+                           fastConfig(journal));
+    orch.loadJournal();
+    EXPECT_DOUBLE_EQ(orch.records().at("timed").busySec, 1.5)
+        << "journaled wall time must survive the resume";
+    EXPECT_DOUBLE_EQ(orch.records().at("timed").backoffSec, 0.25);
+
+    const SweepReport report = orch.run();
+    EXPECT_EQ(report.done, 1u);
+    const TaskRecord &record = orch.records().at("timed");
+    EXPECT_EQ(record.attempts, 3u);
+    EXPECT_GT(record.busySec, 1.5)
+        << "this run's attempts must accumulate on the prior total";
+    EXPECT_GT(record.backoffSec, 0.25)
+        << "the retry after the failed attempt must add backoff";
+
+    // The merged totals reach both the re-checkpointed journal and
+    // the manifest.
+    std::string journalBytes;
+    ASSERT_TRUE(readWholeFile(journal, journalBytes));
+    EXPECT_NE(journalBytes.find("\"busy_s\": "), std::string::npos);
+    EXPECT_EQ(journalBytes.find("\"busy_s\": 1.5,"),
+              std::string::npos)
+        << "checkpoint must carry the merged total, not the prior one";
+
+    const std::string manifest = tempPath("orch_timing_manifest.json");
+    ASSERT_TRUE(orch.writeManifest(manifest, report));
+    std::string bytes;
+    ASSERT_TRUE(readWholeFile(manifest, bytes));
+    EXPECT_NE(bytes.find("\"busy_s\": "), std::string::npos) << bytes;
+    EXPECT_NE(bytes.find("\"backoff_s\": "), std::string::npos)
+        << bytes;
+    EXPECT_TRUE(looksLikeCompleteJson(manifest));
+
+    std::remove(out.c_str());
+    std::remove(marker.c_str());
+    std::remove(journal.c_str());
+    std::remove((journal + ".lock").c_str());
+    std::remove(manifest.c_str());
+}
+
 TEST_F(SweepOrchestratorTest, FailedTaskRetryableUnderWiderPolicy)
 {
     const std::string out = tempPath("orch_widen.json");

@@ -6,9 +6,12 @@
 # run the perf-gated benches at full paper scale — the four
 # manufacture-bound ones plus the phase-sampled system benches
 # (fig13/fig14/longhorizon) — and gate them against the committed
-# BENCH_PR8.json baseline — a hard (non-informational) regression
+# BENCH_PR9.json baseline — a hard (non-informational) regression
 # gate, so a perf regression on the SIMD/runtime/sampling path fails
-# this script. Keeps the default build directory untouched. Usage:
+# this script. A trailing observability tier then enforces the tracer
+# contract: disabled trace sites cost <1% on fig13, and a traced run
+# emits the expected span families. Keeps the default build directory
+# untouched. Usage:
 #   tools/ci_native.sh [build-dir]        # default: build-native
 set -eu
 
@@ -40,4 +43,30 @@ for bench in bench_ext_yield bench_fig04_variation \
         "$build/bench/$bench" > /dev/null
 done
 "$build/tools/validate_bench_json" "$gate_json"
-"$build/tools/compare_bench_json" "$repo/BENCH_PR8.json" "$gate_json"
+"$build/tools/compare_bench_json" "$repo/BENCH_PR9.json" "$gate_json"
+
+# Trace-overhead guard: with tracing *disabled* (the shipped default)
+# a full-scale fig13 must stay within 1% of the committed baseline —
+# the disabled path is one relaxed atomic load and a branch per site,
+# and this holds the instrumented tick loop to that contract.
+overhead_json="$build/BENCH_TRACE_OVERHEAD.json"
+rm -f "$overhead_json"
+VARSCHED_BENCH_JSON="$overhead_json" \
+    "$build/bench/bench_fig13_weighted" > /dev/null
+"$build/tools/compare_bench_json" "$repo/BENCH_PR9.json" \
+    "$overhead_json" --slack 1.01
+
+# Traced run: a full-scale fig13 under VARSCHED_TRACE must produce a
+# well-formed Chrome/Perfetto trace carrying every instrumented span
+# family (trace_summarize exits nonzero on a malformed file or a
+# missing --expect). VARSCHED_THREADS=2 forces the ThreadPool path
+# even on single-core hosts, where the batch runner would otherwise
+# go serial and never emit pool.task spans.
+trace_json="$build/fig13.trace.json"
+rm -f "$trace_json"
+VARSCHED_TRACE="$trace_json" VARSCHED_THREADS=2 \
+    VARSCHED_BENCH_JSON="$build/BENCH_TRACED.json" \
+    "$build/bench/bench_fig13_weighted" > /dev/null
+"$build/tools/trace_summarize" "$trace_json" \
+    --expect physics. --expect pm.decide --expect sched.place \
+    --expect pool.task --expect experiment.trial

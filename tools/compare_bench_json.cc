@@ -4,12 +4,15 @@
  * format bench/common.hh emits — a JSON array, one object per line).
  *
  *   compare_bench_json OLD.json NEW.json [--informational]
+ *                      [--slack RATIO]
  *
  * For every bench present in both files the tool compares the
  * parallel_s wall time and flags a regression when the new time
  * exceeds the old by more than 15%. Benches present in only one file
  * are reported but never fail the comparison (the bench set grows
- * PR over PR).
+ * PR over PR). Peak-RSS figures (the "peak_rss_kb" gauge inside the
+ * PR 9+ metrics object) are shown alongside, informational only —
+ * "-" when a file predates the metrics object.
  *
  * Exit codes: 0 when no bench regressed, 1 on a regression (or a
  * malformed/unreadable input), and 2 instead of 1 under
@@ -30,7 +33,9 @@
 namespace
 {
 
-constexpr double kRegressionSlack = 1.15; // >15% slower == regression
+// >15% slower == regression; --slack overrides (the trace-overhead
+// guard in tools/ci_native.sh tightens it to 1%).
+constexpr double kDefaultSlack = 1.15;
 
 /** Value of "key" in a one-line JSON object; empty when absent. */
 std::string
@@ -61,18 +66,41 @@ rawValue(const std::string &object, const std::string &key)
     return object.substr(from, to - from);
 }
 
-/** bench name (unquoted) -> parallel_s, from one BENCH_*.json. */
+/** Per-bench figures pulled from one BENCH_*.json entry. */
+struct BenchFigures
+{
+    double wallSec = 0.0;
+    /** Peak RSS, KiB; < 0 when the entry predates the metrics object. */
+    double peakRssKb = -1.0;
+};
+
+/** bench name (unquoted) -> figures, from one BENCH_*.json. */
 bool
-loadWallTimes(const char *path, std::map<std::string, double> &out)
+loadWallTimes(const char *path, std::map<std::string, BenchFigures> &out)
 {
     std::FILE *in = std::fopen(path, "r");
     if (in == nullptr) {
         std::fprintf(stderr, "cannot open %s\n", path);
         return false;
     }
-    char line[2048];
-    while (std::fgets(line, sizeof line, in)) {
-        const std::string s(line);
+    // Whole-file read: metrics-bearing entries (PR 9+) are one long
+    // line each, far past any fixed fgets buffer.
+    std::string text;
+    {
+        char chunk[1 << 16];
+        std::size_t got;
+        while ((got = std::fread(chunk, 1, sizeof chunk, in)) > 0)
+            text.append(chunk, got);
+    }
+    std::fclose(in);
+
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        std::size_t nl = text.find('\n', pos);
+        if (nl == std::string::npos)
+            nl = text.size();
+        const std::string s = text.substr(pos, nl - pos);
+        pos = nl + 1;
         if (s.find('{') == std::string::npos)
             continue;
         std::string bench = rawValue(s, "bench");
@@ -80,7 +108,6 @@ loadWallTimes(const char *path, std::map<std::string, double> &out)
             bench.back() != '"') {
             std::fprintf(stderr, "%s: entry without a bench name\n",
                          path);
-            std::fclose(in);
             return false;
         }
         bench = bench.substr(1, bench.size() - 2);
@@ -90,17 +117,37 @@ loadWallTimes(const char *path, std::map<std::string, double> &out)
         if (wall.empty() || end == nullptr || *end != '\0' || v < 0.0) {
             std::fprintf(stderr, "%s: %s has no parallel_s\n", path,
                          bench.c_str());
-            std::fclose(in);
             return false;
         }
-        out[bench] = v;
+        BenchFigures figures;
+        figures.wallSec = v;
+        // peak_rss_kb lives nested inside "metrics", but rawValue is
+        // find-based over the whole line, so it still lands on the
+        // key. Absent in pre-PR9 files — reported as "-", never gated.
+        const std::string rss = rawValue(s, "peak_rss_kb");
+        if (!rss.empty()) {
+            end = nullptr;
+            const double kb = std::strtod(rss.c_str(), &end);
+            if (end != nullptr && *end == '\0' && kb >= 0.0)
+                figures.peakRssKb = kb;
+        }
+        out[bench] = figures;
     }
-    std::fclose(in);
     if (out.empty()) {
         std::fprintf(stderr, "%s has no bench entries\n", path);
         return false;
     }
     return true;
+}
+
+/** "123.4M" style rendering of a KiB figure; "-" when missing. */
+void
+formatRssMb(double kb, char *buf, std::size_t n)
+{
+    if (kb < 0.0)
+        std::snprintf(buf, n, "-");
+    else
+        std::snprintf(buf, n, "%.1fM", kb / 1024.0);
 }
 
 } // namespace
@@ -109,60 +156,71 @@ int
 main(int argc, char **argv)
 {
     bool informational = false;
+    double slack = kDefaultSlack;
     std::vector<const char *> paths;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--informational") == 0)
             informational = true;
+        else if (std::strcmp(argv[i], "--slack") == 0 && i + 1 < argc)
+            slack = std::strtod(argv[++i], nullptr);
         else
             paths.push_back(argv[i]);
     }
     const int failCode = informational ? 2 : 1;
-    if (paths.size() != 2) {
+    if (paths.size() != 2 || slack <= 1.0) {
         std::fprintf(stderr,
                      "usage: compare_bench_json OLD.json NEW.json "
-                     "[--informational]\n");
+                     "[--informational] [--slack RATIO>1]\n");
         return failCode;
     }
 
-    std::map<std::string, double> before, after;
+    std::map<std::string, BenchFigures> before, after;
     if (!loadWallTimes(paths[0], before) ||
         !loadWallTimes(paths[1], after))
         return failCode;
 
-    std::printf("%-32s %12s %12s %8s\n", "bench", "old (s)", "new (s)",
-                "ratio");
+    // The rss columns are informational only: peak RSS depends on
+    // allocator/arena behavior, never gates the comparison, and is
+    // "-" for pre-metrics files.
+    std::printf("%-32s %12s %12s %8s %10s %10s\n", "bench", "old (s)",
+                "new (s)", "ratio", "old rss", "new rss");
     std::vector<std::string> regressed;
-    for (const auto &[bench, newWall] : after) {
+    char oldRss[32], newRss[32];
+    for (const auto &[bench, newFig] : after) {
+        formatRssMb(newFig.peakRssKb, newRss, sizeof newRss);
         const auto it = before.find(bench);
         if (it == before.end()) {
-            std::printf("%-32s %12s %12.3f %8s\n", bench.c_str(), "-",
-                        newWall, "new");
+            std::printf("%-32s %12s %12.3f %8s %10s %10s\n",
+                        bench.c_str(), "-", newFig.wallSec, "new", "-",
+                        newRss);
             continue;
         }
-        const double oldWall = it->second;
-        const double ratio = oldWall > 0.0 ? newWall / oldWall : 0.0;
-        const bool bad = oldWall > 0.0 && ratio > kRegressionSlack;
-        std::printf("%-32s %12.3f %12.3f %7.2fx%s\n", bench.c_str(),
-                    oldWall, newWall, ratio, bad ? "  <-- regression"
-                                                : "");
+        const double oldWall = it->second.wallSec;
+        const double ratio =
+            oldWall > 0.0 ? newFig.wallSec / oldWall : 0.0;
+        const bool bad = oldWall > 0.0 && ratio > slack;
+        formatRssMb(it->second.peakRssKb, oldRss, sizeof oldRss);
+        std::printf("%-32s %12.3f %12.3f %7.2fx %10s %10s%s\n",
+                    bench.c_str(), oldWall, newFig.wallSec, ratio,
+                    oldRss, newRss, bad ? "  <-- regression" : "");
         if (bad)
             regressed.push_back(bench);
     }
-    for (const auto &[bench, oldWall] : before) {
+    for (const auto &[bench, oldFig] : before) {
         if (after.find(bench) == after.end())
             std::printf("%-32s %12.3f %12s %8s\n", bench.c_str(),
-                        oldWall, "-", "gone");
+                        oldFig.wallSec, "-", "gone");
     }
 
     if (!regressed.empty()) {
         std::fprintf(stderr, "\n%zu bench(es) regressed >%.0f%%:\n",
                      regressed.size(),
-                     (kRegressionSlack - 1.0) * 100.0);
+                     (slack - 1.0) * 100.0);
         for (const std::string &b : regressed)
             std::fprintf(stderr, "  %s\n", b.c_str());
         return failCode;
     }
     std::printf("\nno bench regressed more than %.0f%%\n",
-                (kRegressionSlack - 1.0) * 100.0);
+                (slack - 1.0) * 100.0);
     return 0;
 }

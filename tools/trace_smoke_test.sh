@@ -1,0 +1,33 @@
+#!/bin/sh
+# Trace smoke: run one system bench with tracing enabled, validate the
+# emitted Chrome trace with trace_summarize (well-formed event array,
+# expected span families present), and prove the bench's printed
+# simulation results are byte-identical to an untraced run — tracing
+# must observe, never perturb. Usage:
+#   trace_smoke_test.sh BENCH_BINARY TRACE_SUMMARIZE_BINARY WORK_DIR
+set -eu
+
+bench=$1
+summarize=$2
+dir=$3
+
+mkdir -p "$dir"
+trace="$dir/fig13.trace.json"
+rm -f "$trace"
+
+VARSCHED_TRACE="$trace" VARSCHED_BENCH_JSON="$dir/BENCH_TRACED.json" \
+    "$bench" > "$dir/traced.out"
+VARSCHED_BENCH_JSON="$dir/BENCH_UNTRACED.json" \
+    "$bench" > "$dir/untraced.out"
+
+# Simulation output must not depend on whether tracing is on.
+cmp "$dir/traced.out" "$dir/untraced.out"
+
+# The trace must hold the span families the instrumented stack
+# promises: physics settles, PM decisions, scheduler placements, and
+# worker-pool task spans.
+"$summarize" "$trace" \
+    --expect physics. \
+    --expect pm.decide \
+    --expect sched.place \
+    --expect pool.task

@@ -1,0 +1,408 @@
+/**
+ * @file
+ * Summarizer/validator for the Chrome trace-event JSON the runtime
+ * tracer emits (src/runtime/trace.cc, one event per line).
+ *
+ *   trace_summarize TRACE.json [--top N] [--expect SUBSTR]...
+ *
+ * Prints the top-N span names by total *self* time (span duration
+ * minus time covered by spans nested inside it on the same thread)
+ * and a per-thread utilization table (top-level span time over the
+ * thread's active window). Used both interactively and as the CI
+ * validator behind the trace_smoke label: exit is nonzero when the
+ * file is not a well-formed event-per-line trace array, holds no
+ * duration events, or lacks an event whose name contains one of the
+ * --expect substrings.
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace
+{
+
+/** Value of "key" in a one-line JSON object; empty when absent. */
+std::string
+rawValue(const std::string &object, const std::string &key)
+{
+    const std::string needle = "\"" + key + "\":";
+    const std::size_t at = object.find(needle);
+    if (at == std::string::npos)
+        return "";
+    std::size_t from = at + needle.size();
+    while (from < object.size() &&
+           std::isspace(static_cast<unsigned char>(object[from])))
+        ++from;
+    std::size_t to = from;
+    if (to < object.size() && object[to] == '"') {
+        to = object.find('"', to + 1);
+        if (to == std::string::npos)
+            return "";
+        ++to;
+    } else {
+        while (to < object.size() && object[to] != ',' &&
+               object[to] != '}')
+            ++to;
+        while (to > from &&
+               std::isspace(static_cast<unsigned char>(object[to - 1])))
+            --to;
+    }
+    return object.substr(from, to - from);
+}
+
+/** Strip surrounding quotes; empty when not a quoted string. */
+std::string
+unquote(const std::string &s)
+{
+    if (s.size() < 2 || s.front() != '"' || s.back() != '"')
+        return "";
+    return s.substr(1, s.size() - 2);
+}
+
+/** One 'X' (complete) event, microsecond timeline. */
+struct Span
+{
+    std::string name;
+    double tsUs = 0.0;
+    double durUs = 0.0;
+};
+
+/** Everything the summary needs about one thread lane. */
+struct Lane
+{
+    std::string name; ///< From the thread_name metadata event.
+    std::vector<Span> spans;
+    std::size_t instants = 0;
+    std::size_t counters = 0;
+    double firstUs = 0.0, lastUs = 0.0;
+    bool sawEvent = false;
+
+    void cover(double beginUs, double endUs)
+    {
+        if (!sawEvent || beginUs < firstUs)
+            firstUs = beginUs;
+        if (!sawEvent || endUs > lastUs)
+            lastUs = endUs;
+        sawEvent = true;
+    }
+};
+
+/** Per-name self-time aggregate across all lanes. */
+struct NameStats
+{
+    double selfUs = 0.0;
+    double totalUs = 0.0;
+    std::size_t count = 0;
+};
+
+bool
+parseNumber(const std::string &s, double &v)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    v = std::strtod(s.c_str(), &end);
+    return end != nullptr && *end == '\0' && std::isfinite(v);
+}
+
+/**
+ * Attribute self time: walk the lane's spans in start order keeping a
+ * stack of enclosing spans; a span's duration is charged to it and
+ * subtracted from its innermost enclosing span. Spans recorded by a
+ * single thread nest properly by construction (RAII scopes), so an
+ * overlap that is not a nesting is treated as disjoint.
+ */
+void
+accumulateSelfTimes(Lane &lane, std::map<std::string, NameStats> &out)
+{
+    std::stable_sort(lane.spans.begin(), lane.spans.end(),
+                     [](const Span &a, const Span &b) {
+                         if (a.tsUs != b.tsUs)
+                             return a.tsUs < b.tsUs;
+                         return a.durUs > b.durUs; // parent first
+                     });
+    struct Open
+    {
+        const Span *span;
+        double childUs = 0.0;
+    };
+    std::vector<Open> stack;
+    const auto close = [&](const Open &open) {
+        NameStats &stats = out[open.span->name];
+        const double self =
+            std::max(open.span->durUs - open.childUs, 0.0);
+        stats.selfUs += self;
+        stats.totalUs += open.span->durUs;
+        stats.count += 1;
+    };
+    for (const Span &span : lane.spans) {
+        while (!stack.empty() &&
+               stack.back().span->tsUs + stack.back().span->durUs <=
+                   span.tsUs) {
+            close(stack.back());
+            stack.pop_back();
+        }
+        if (!stack.empty())
+            stack.back().childUs += span.durUs;
+        stack.push_back(Open{&span});
+    }
+    while (!stack.empty()) {
+        close(stack.back());
+        stack.pop_back();
+    }
+}
+
+/** Top-level busy time of a lane (union of depth-0 spans). */
+double
+topLevelBusyUs(const Lane &lane)
+{
+    // Spans are already start-sorted by accumulateSelfTimes.
+    double busy = 0.0, coveredUntil = -1.0;
+    for (const Span &span : lane.spans) {
+        const double end = span.tsUs + span.durUs;
+        if (span.tsUs >= coveredUntil) {
+            busy += span.durUs;
+            coveredUntil = end;
+        } else if (end > coveredUntil) {
+            busy += end - coveredUntil;
+            coveredUntil = end;
+        }
+    }
+    return busy;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *path = nullptr;
+    std::size_t topN = 15;
+    std::vector<std::string> expect;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
+            topN = std::strtoul(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--expect") == 0 &&
+                   i + 1 < argc) {
+            expect.push_back(argv[++i]);
+        } else if (path == nullptr) {
+            path = argv[i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: trace_summarize TRACE.json [--top N] "
+                         "[--expect SUBSTR]...\n");
+            return 1;
+        }
+    }
+    if (path == nullptr) {
+        std::fprintf(stderr,
+                     "usage: trace_summarize TRACE.json [--top N] "
+                     "[--expect SUBSTR]...\n");
+        return 1;
+    }
+
+    std::FILE *in = std::fopen(path, "r");
+    if (in == nullptr) {
+        std::fprintf(stderr, "cannot open %s\n", path);
+        return 1;
+    }
+    std::string text;
+    {
+        char chunk[1 << 16];
+        std::size_t got;
+        while ((got = std::fread(chunk, 1, sizeof chunk, in)) > 0)
+            text.append(chunk, got);
+    }
+    std::fclose(in);
+
+    std::map<int, Lane> lanes;
+    std::map<std::string, std::size_t> seenNames;
+    bool sawOpen = false, sawClose = false;
+    std::size_t events = 0, droppedTotal = 0;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        std::size_t nl = text.find('\n', pos);
+        if (nl == std::string::npos)
+            nl = text.size();
+        std::string s = text.substr(pos, nl - pos);
+        pos = nl + 1;
+        while (!s.empty() &&
+               std::isspace(static_cast<unsigned char>(s.back())))
+            s.pop_back();
+        std::size_t from = 0;
+        while (from < s.size() &&
+               std::isspace(static_cast<unsigned char>(s[from])))
+            ++from;
+        s = s.substr(from);
+        if (s.empty())
+            continue;
+        if (s == "[") {
+            sawOpen = true;
+            continue;
+        }
+        if (s == "]") {
+            sawClose = true;
+            continue;
+        }
+        if (!s.empty() && s.back() == ',')
+            s.pop_back();
+        if (s.empty() || s.front() != '{' || s.back() != '}') {
+            std::fprintf(stderr, "%s: unparseable line: %s\n", path,
+                         s.c_str());
+            return 1;
+        }
+
+        const std::string phase = unquote(rawValue(s, "ph"));
+        const std::string name = unquote(rawValue(s, "name"));
+        if (phase.size() != 1 || name.empty()) {
+            std::fprintf(stderr, "%s: event without ph/name: %s\n",
+                         path, s.c_str());
+            return 1;
+        }
+        int tid = 0;
+        {
+            double v = 0.0;
+            if (!parseNumber(rawValue(s, "tid"), v)) {
+                std::fprintf(stderr, "%s: event without tid: %s\n",
+                             path, s.c_str());
+                return 1;
+            }
+            tid = static_cast<int>(v);
+        }
+        Lane &lane = lanes[tid];
+
+        if (phase == "M") {
+            // {"args": {"name": "..."}} — find the inner name (the
+            // outer "name" key was matched first above).
+            const std::size_t args = s.find("\"args\"");
+            if (args != std::string::npos)
+                lane.name =
+                    unquote(rawValue(s.substr(args), "name"));
+            continue;
+        }
+
+        ++events;
+        seenNames[name] += 1;
+        double ts = 0.0;
+        if (!parseNumber(rawValue(s, "ts"), ts) || ts < 0.0) {
+            std::fprintf(stderr, "%s: event without valid ts: %s\n",
+                         path, s.c_str());
+            return 1;
+        }
+        if (phase == "X") {
+            double dur = 0.0;
+            if (!parseNumber(rawValue(s, "dur"), dur) || dur < 0.0) {
+                std::fprintf(stderr,
+                             "%s: X event without valid dur: %s\n",
+                             path, s.c_str());
+                return 1;
+            }
+            lane.spans.push_back(Span{name, ts, dur});
+            lane.cover(ts, ts + dur);
+        } else if (phase == "i") {
+            lane.instants += 1;
+            lane.cover(ts, ts);
+            if (name == "trace.dropped") {
+                double count = 0.0;
+                const std::size_t args = s.find("\"args\"");
+                if (args != std::string::npos &&
+                    parseNumber(rawValue(s.substr(args), "count"),
+                                count))
+                    droppedTotal +=
+                        static_cast<std::size_t>(count);
+            }
+        } else if (phase == "C") {
+            lane.counters += 1;
+            lane.cover(ts, ts);
+        } else {
+            std::fprintf(stderr, "%s: unknown phase '%s'\n", path,
+                         phase.c_str());
+            return 1;
+        }
+    }
+
+    if (!sawOpen || !sawClose) {
+        std::fprintf(stderr, "%s is not a JSON event array\n", path);
+        return 1;
+    }
+    if (events == 0) {
+        std::fprintf(stderr, "%s holds no events\n", path);
+        return 1;
+    }
+
+    std::size_t totalSpans = 0;
+    std::map<std::string, NameStats> byName;
+    for (auto &[tid, lane] : lanes) {
+        totalSpans += lane.spans.size();
+        accumulateSelfTimes(lane, byName);
+    }
+    if (totalSpans == 0) {
+        std::fprintf(stderr, "%s holds no duration events\n", path);
+        return 1;
+    }
+
+    for (const std::string &needle : expect) {
+        bool found = false;
+        for (const auto &[name, count] : seenNames) {
+            if (name.find(needle) != std::string::npos) {
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            std::fprintf(stderr,
+                         "%s: no event name contains \"%s\"\n", path,
+                         needle.c_str());
+            return 1;
+        }
+    }
+
+    std::printf("%s: %zu events (%zu spans) on %zu threads",
+                path, events, totalSpans, lanes.size());
+    if (droppedTotal > 0)
+        std::printf(", %zu dropped to ring wraparound", droppedTotal);
+    std::printf("\n\n");
+
+    std::vector<std::pair<std::string, NameStats>> ranked(
+        byName.begin(), byName.end());
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second.selfUs > b.second.selfUs;
+              });
+    std::printf("top spans by self time:\n");
+    std::printf("%-28s %10s %14s %14s %12s\n", "span", "count",
+                "self (ms)", "total (ms)", "avg (us)");
+    const std::size_t shown = std::min(topN, ranked.size());
+    for (std::size_t i = 0; i < shown; ++i) {
+        const auto &[name, stats] = ranked[i];
+        std::printf("%-28s %10zu %14.3f %14.3f %12.2f\n", name.c_str(),
+                    stats.count, stats.selfUs / 1000.0,
+                    stats.totalUs / 1000.0,
+                    stats.count > 0
+                        ? stats.totalUs / static_cast<double>(
+                                              stats.count)
+                        : 0.0);
+    }
+
+    std::printf("\nper-thread utilization:\n");
+    std::printf("%-20s %8s %10s %12s %12s %8s\n", "thread", "tid",
+                "spans", "busy (ms)", "window (ms)", "util");
+    for (auto &[tid, lane] : lanes) {
+        const double windowUs =
+            lane.sawEvent ? lane.lastUs - lane.firstUs : 0.0;
+        const double busyUs = topLevelBusyUs(lane);
+        std::printf("%-20s %8d %10zu %12.3f %12.3f %7.1f%%\n",
+                    lane.name.empty() ? "-" : lane.name.c_str(), tid,
+                    lane.spans.size(), busyUs / 1000.0,
+                    windowUs / 1000.0,
+                    windowUs > 0.0 ? 100.0 * busyUs / windowUs : 0.0);
+    }
+    return 0;
+}

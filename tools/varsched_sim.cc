@@ -23,6 +23,7 @@
 #include "core/experiment.hh"
 #include "core/system.hh"
 #include "runtime/orchestrator.hh"
+#include "runtime/trace.hh"
 
 using namespace varsched;
 
@@ -52,6 +53,7 @@ struct Options
     bool compare = false;
     std::uint64_t seed = 2026;
     std::string csvPath;
+    std::string tracePath;
 };
 
 void
@@ -88,6 +90,8 @@ usage()
         "  --compare           also run Random+Foxton* for reference\n"
         "  --seed N            batch seed (default 2026)\n"
         "  --csv FILE          write one row per (die, trial) run\n"
+        "  --trace FILE        write a Chrome/Perfetto trace of the\n"
+        "                      run (same as VARSCHED_TRACE=FILE)\n"
         "  --help              this text\n");
 }
 
@@ -206,6 +210,9 @@ parseArgs(int argc, char **argv, Options &opt)
         } else if (arg == "--csv") {
             if (!(value = needValue(i))) return false;
             opt.csvPath = value;
+        } else if (arg == "--trace") {
+            if (!(value = needValue(i))) return false;
+            opt.tracePath = value;
         } else {
             std::fprintf(stderr, "unknown option '%s' (--help?)\n",
                          arg.c_str());
@@ -290,6 +297,13 @@ main(int argc, char **argv)
     // mid-write: the CSV loop below checks it between runs and
     // flushes the rows already computed before exiting.
     installStopSignalHandlers();
+
+    // --trace mirrors VARSCHED_TRACE (the env variant is flushed by
+    // the same atexit hook, so both paths end identically).
+    if (!opt.tracePath.empty()) {
+        trace::traceStart(opt.tracePath);
+        std::atexit([] { trace::traceStopAndFlush(); });
+    }
 
     BatchConfig batch;
     batch.numDies = opt.dies;
